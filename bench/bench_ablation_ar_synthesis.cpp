@@ -1,0 +1,68 @@
+// Ablation A1: AR-automaton generation cost as a function of the time bound.
+//
+// The paper notes that the TB-10000 verification times "include large
+// AR-automaton generation time" and that properties without a time bound can
+// outperform bounded ones. The mechanism: each F[b] contributes O(b) states
+// to the Accept/Reject automaton. This bench measures synthesis time and
+// reports the state count for the case study's Read response property across
+// bounds, plus the unbounded variant.
+#include <benchmark/benchmark.h>
+
+#include "casestudy/eeprom.hpp"
+#include "temporal/automaton.hpp"
+#include "temporal/parser.hpp"
+
+namespace {
+
+using namespace esv;
+
+void BM_ArSynthesisBound(benchmark::State& state) {
+  const auto bound = static_cast<std::uint32_t>(state.range(0));
+  const auto& op = casestudy::operation_by_name("Read");
+  const std::string text =
+      bound == 0 ? casestudy::response_property(op, std::nullopt)
+                 : casestudy::response_property(op, bound);
+  std::size_t states = 0;
+  for (auto _ : state) {
+    temporal::FormulaFactory factory;
+    temporal::FormulaRef formula = temporal::parse_fltl(text, factory);
+    temporal::ArAutomaton automaton = temporal::synthesize(factory, formula);
+    states = automaton.state_count();
+    benchmark::DoNotOptimize(automaton);
+  }
+  state.counters["ar_states"] = static_cast<double>(states);
+}
+
+BENCHMARK(BM_ArSynthesisBound)
+    ->Arg(0)       // no time bound (pure LTL)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// The same sweep for a single-proposition property isolates the per-state
+// cost from the alphabet size (2^props transitions per state).
+void BM_ArSynthesisSingleProp(benchmark::State& state) {
+  const auto bound = static_cast<std::uint32_t>(state.range(0));
+  const std::string text = "G (req -> F[" + std::to_string(bound) + "] ack)";
+  std::size_t states = 0;
+  for (auto _ : state) {
+    temporal::FormulaFactory factory;
+    temporal::FormulaRef formula = temporal::parse_fltl(text, factory);
+    temporal::ArAutomaton automaton = temporal::synthesize(factory, formula);
+    states = automaton.state_count();
+    benchmark::DoNotOptimize(automaton);
+  }
+  state.counters["ar_states"] = static_cast<double>(states);
+}
+
+BENCHMARK(BM_ArSynthesisSingleProp)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Ablation A2: per-step monitoring cost — lazy progression vs synthesized
+// AR-automaton.
+//
+// The design choice behind SCTC's synthesis engine: an explicit automaton
+// pays generation time up front (see bench_ablation_ar_synthesis) but then
+// monitors with a table lookup per step, while formula progression rebuilds
+// the pending obligation every step. This bench measures the steady-state
+// step cost of both modes on the same property and trace distribution.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "temporal/automaton.hpp"
+#include "temporal/monitor.hpp"
+#include "temporal/parser.hpp"
+
+namespace {
+
+using namespace esv::temporal;
+
+constexpr const char* kProperty = "G (req -> F[64] (ack || err))";
+
+void BM_ProgressionStep(benchmark::State& state) {
+  FormulaFactory factory;
+  FormulaRef formula = parse_fltl(kProperty, factory);
+  ProgressionMonitor monitor(factory, formula);
+  esv::common::Rng rng(1234);
+  std::vector<bool> vals(3);
+  for (auto _ : state) {
+    vals[0] = rng.next_chance(1, 8);   // req
+    vals[1] = rng.next_chance(1, 4);   // ack
+    vals[2] = rng.next_chance(1, 16);  // err
+    const Verdict v = monitor.step(
+        [&vals](int index) { return vals[static_cast<std::size_t>(index)]; });
+    benchmark::DoNotOptimize(v);
+    if (v != Verdict::kPending) monitor.reset();
+  }
+  state.counters["factory_nodes"] =
+      static_cast<double>(factory.node_count());
+}
+BENCHMARK(BM_ProgressionStep);
+
+void BM_AutomatonStep(benchmark::State& state) {
+  FormulaFactory factory;
+  FormulaRef formula = parse_fltl(kProperty, factory);
+  ArAutomaton automaton = synthesize(factory, formula);
+  AutomatonMonitor monitor(automaton);
+  esv::common::Rng rng(1234);
+  std::vector<bool> vals(3);
+  for (auto _ : state) {
+    vals[0] = rng.next_chance(1, 8);
+    vals[1] = rng.next_chance(1, 4);
+    vals[2] = rng.next_chance(1, 16);
+    const Verdict v = monitor.step(
+        [&vals](int index) { return vals[static_cast<std::size_t>(index)]; });
+    benchmark::DoNotOptimize(v);
+    if (v != Verdict::kPending) monitor.reset();
+  }
+  state.counters["ar_states"] = static_cast<double>(automaton.state_count());
+}
+BENCHMARK(BM_AutomatonStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

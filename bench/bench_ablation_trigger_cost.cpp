@@ -1,0 +1,73 @@
+// Ablation A3: where the up-to-900x speedup comes from.
+//
+// Approach 1 pays for (a) instruction-level execution — many instructions
+// and bus/device cycles per C statement — and (b) the simulation kernel:
+// every clock edge is a scheduled event that wakes the CPU process, the
+// checker method, and the supervisor. Approach 2 executes one statement per
+// temporal step with no kernel in the loop. This bench runs a fixed
+// test-case budget through both paths and reports wall time per test case.
+#include <benchmark/benchmark.h>
+
+#include "casestudy/harness.hpp"
+
+namespace {
+
+using namespace esv::casestudy;
+
+void BM_Approach1PerTestCase(benchmark::State& state) {
+  std::uint64_t test_cases = 0;
+  for (auto _ : state) {
+    ExperimentConfig config;
+    config.max_test_cases = 25;
+    config.seed = 5;
+    const ExperimentResult r =
+        run_with_microprocessor(operation_by_name("Write"), config);
+    test_cases += r.test_cases;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["test_cases_per_s"] = benchmark::Counter(
+      static_cast<double>(test_cases), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Approach1PerTestCase)->Unit(benchmark::kMillisecond);
+
+void BM_Approach2PerTestCase(benchmark::State& state) {
+  std::uint64_t test_cases = 0;
+  for (auto _ : state) {
+    ExperimentConfig config;
+    config.max_test_cases = 25;
+    config.seed = 5;
+    const ExperimentResult r =
+        run_with_esw_model(operation_by_name("Write"), config);
+    test_cases += r.test_cases;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["test_cases_per_s"] = benchmark::Counter(
+      static_cast<double>(test_cases), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Approach2PerTestCase)->Unit(benchmark::kMillisecond);
+
+// The paper's literal setup for approach 2: the derived model runs as a
+// kernel thread and the pc event triggers the checker through the
+// scheduler. The delta to BM_Approach2PerTestCase is the kernel's share of
+// the cost; the delta to BM_Approach1PerTestCase is the instruction-level
+// execution share.
+void BM_Approach2InKernelPerTestCase(benchmark::State& state) {
+  std::uint64_t test_cases = 0;
+  for (auto _ : state) {
+    ExperimentConfig config;
+    config.max_test_cases = 25;
+    config.seed = 5;
+    config.esw_in_kernel = true;
+    const ExperimentResult r =
+        run_with_esw_model(operation_by_name("Write"), config);
+    test_cases += r.test_cases;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["test_cases_per_s"] = benchmark::Counter(
+      static_cast<double>(test_cases), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Approach2InKernelPerTestCase)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+/* Sample program for esv-verify: a blinker driven by an enable input.
+   Properties live in blinker.esv. */
+enum { LED_OFF = 0, LED_ON = 1 };
+
+bool flag;
+int led;
+int ticks_on;
+int cycles;
+
+void update(int enable) {
+  if (enable == 1) {
+    if (led == LED_OFF) {
+      led = LED_ON;
+    } else {
+      led = LED_OFF;
+    }
+  } else {
+    led = LED_OFF;
+  }
+  if (led == LED_ON) {
+    ticks_on = ticks_on + 1;
+  }
+}
+
+void main(void) {
+  led = LED_OFF;
+  ticks_on = 0;
+  flag = true;
+  while (cycles < 500) {
+    int enable = __in(enable);
+    update(enable);
+    cycles = cycles + 1;
+  }
+}

@@ -1,0 +1,81 @@
+#include "can/can_controller.hpp"
+
+namespace esv::can {
+
+std::uint32_t CanController::mmio_read(std::uint32_t offset) {
+  switch (offset) {
+    case kRegRxStatus: {
+      std::uint32_t status = 0;
+      if (!rx_fifo_.empty()) status |= kRxMsgAvailable;
+      if (overrun_) status |= kRxOverrun;
+      return status;
+    }
+    case kRegRxId:
+      return rx_fifo_.empty() ? 0 : rx_fifo_.front().id;
+    case kRegRxData:
+      return rx_fifo_.empty() ? 0 : rx_fifo_.front().data;
+    case kRegTxId:
+      return tx_id_;
+    case kRegTxData:
+      return tx_data_;
+    case kRegTxStatus: {
+      std::uint32_t status = 0;
+      if (tx_busy()) status |= kTxBusy;
+      if (tx_done_) status |= kTxDone;
+      if (tx_error_) status |= kTxError;
+      return status;
+    }
+    default:
+      return 0;
+  }
+}
+
+void CanController::mmio_write(std::uint32_t offset, std::uint32_t value) {
+  switch (offset) {
+    case kRegRxPop:
+      if (!rx_fifo_.empty()) rx_fifo_.pop_front();
+      return;
+    case kRegRxClearOverrun:
+      overrun_ = false;
+      return;
+    case kRegTxId:
+      tx_id_ = value;
+      return;
+    case kRegTxData:
+      tx_data_ = value;
+      return;
+    case kRegTxCtrl:
+      if (value != 1 || tx_busy()) return;  // ignore while busy
+      tx_done_ = false;
+      tx_error_ = false;
+      tx_busy_ticks_left_ = config_.tx_busy_ticks;
+      if (tx_busy_ticks_left_ == 0) tx_busy_ticks_left_ = 1;
+      return;
+    default:
+      return;
+  }
+}
+
+void CanController::tick() {
+  if (tx_busy_ticks_left_ == 0) return;
+  if (--tx_busy_ticks_left_ != 0) return;
+  if (tx_fault_) {
+    tx_fault_ = false;
+    tx_error_ = true;
+    return;
+  }
+  tx_done_ = true;
+  tx_log_.push_back(CanFrame{tx_id_, tx_data_});
+}
+
+bool CanController::inject_rx(std::uint32_t id, std::uint32_t data) {
+  if (rx_fifo_.size() >= config_.rx_fifo_depth) {
+    overrun_ = true;
+    ++rx_dropped_;
+    return false;
+  }
+  rx_fifo_.push_back(CanFrame{id, data});
+  return true;
+}
+
+}  // namespace esv::can

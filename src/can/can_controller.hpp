@@ -1,0 +1,99 @@
+// CAN controller model — a second hardware substrate for automotive
+// workloads (the paper's motivation names body/comfort functions; message
+// gateways between CAN buses are the classic one).
+//
+// Models the software-visible behaviour of a basic full-CAN controller:
+// a receive FIFO with overrun detection, and a single transmit mailbox with
+// multi-cycle send latency and an optional acknowledge error (bus-off-style
+// fault injection). The testbench injects frames into the RX path and
+// observes the TX log.
+//
+// Register map (word offsets from the mapping base):
+//   +0x00 RX_STATUS (r) bit0 MSG_AVAILABLE, bit1 OVERRUN (sticky)
+//   +0x04 RX_ID     (r) id of the head frame
+//   +0x08 RX_DATA   (r) payload of the head frame
+//   +0x0C RX_POP    (w) any value: consume the head frame
+//   +0x10 RX_CLROVR (w) any value: clear the overrun flag
+//   +0x14 TX_ID     (rw)
+//   +0x18 TX_DATA   (rw)
+//   +0x1C TX_CTRL   (w) 1 = send
+//   +0x20 TX_STATUS (r) bit0 BUSY, bit1 DONE (cleared by send), bit2 ERROR
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mem/address_space.hpp"
+
+namespace esv::can {
+
+struct CanFrame {
+  std::uint32_t id = 0;
+  std::uint32_t data = 0;
+
+  bool operator==(const CanFrame&) const = default;
+};
+
+struct CanConfig {
+  std::size_t rx_fifo_depth = 4;
+  std::uint32_t tx_busy_ticks = 6;
+};
+
+class CanController final : public mem::MmioDevice {
+ public:
+  static constexpr std::uint32_t kRegRxStatus = 0x00;
+  static constexpr std::uint32_t kRegRxId = 0x04;
+  static constexpr std::uint32_t kRegRxData = 0x08;
+  static constexpr std::uint32_t kRegRxPop = 0x0C;
+  static constexpr std::uint32_t kRegRxClearOverrun = 0x10;
+  static constexpr std::uint32_t kRegTxId = 0x14;
+  static constexpr std::uint32_t kRegTxData = 0x18;
+  static constexpr std::uint32_t kRegTxCtrl = 0x1C;
+  static constexpr std::uint32_t kRegTxStatus = 0x20;
+
+  static constexpr std::uint32_t kRxMsgAvailable = 1u << 0;
+  static constexpr std::uint32_t kRxOverrun = 1u << 1;
+  static constexpr std::uint32_t kTxBusy = 1u << 0;
+  static constexpr std::uint32_t kTxDone = 1u << 1;
+  static constexpr std::uint32_t kTxError = 1u << 2;
+
+  static constexpr std::uint32_t kWindowBytes = 0x40;
+
+  explicit CanController(CanConfig config = {}) : config_(config) {}
+
+  // mem::MmioDevice
+  std::uint32_t mmio_read(std::uint32_t offset) override;
+  void mmio_write(std::uint32_t offset, std::uint32_t value) override;
+  void tick() override;
+
+  // --- testbench side ---
+  /// Delivers a frame from the bus; returns false (and sets OVERRUN) when
+  /// the FIFO is full and the frame was dropped.
+  bool inject_rx(std::uint32_t id, std::uint32_t data);
+  /// Frames the software transmitted, in order.
+  const std::vector<CanFrame>& tx_log() const { return tx_log_; }
+  /// Fails the next transmission with the ERROR bit.
+  void inject_tx_fault() { tx_fault_ = true; }
+
+  std::size_t rx_pending() const { return rx_fifo_.size(); }
+  bool overrun() const { return overrun_; }
+  std::uint64_t rx_dropped() const { return rx_dropped_; }
+  bool tx_busy() const { return tx_busy_ticks_left_ > 0; }
+
+ private:
+  CanConfig config_;
+  std::deque<CanFrame> rx_fifo_;
+  bool overrun_ = false;
+  std::uint64_t rx_dropped_ = 0;
+
+  std::uint32_t tx_id_ = 0;
+  std::uint32_t tx_data_ = 0;
+  std::uint32_t tx_busy_ticks_left_ = 0;
+  bool tx_done_ = false;
+  bool tx_error_ = false;
+  bool tx_fault_ = false;
+  std::vector<CanFrame> tx_log_;
+};
+
+}  // namespace esv::can

@@ -1,0 +1,696 @@
+#include "casestudy/eeprom.hpp"
+
+namespace esv::casestudy {
+
+// ---------------------------------------------------------------------------
+// The EEPROM-emulation embedded software (mini-C).
+//
+// Re-implementation of the case study's layered structure: a Data Flash
+// Access layer (DFALib) over the MMIO flash controller, and an EEPROM
+// Emulation layer (EEELib) providing format / prepare / read / write /
+// refresh / startup1 / startup2 (plus invalidate) to the application layer.
+// The EEELib operations are written as explicit state machines with the
+// shared ready/abort/error/finish states the paper describes.
+//
+// Page layout (word offsets inside a page):
+//   0: PREPARED mark   1: ACTIVE mark   2: INVALID mark   3: reserved
+//   4..: records, three words each (id, value, checksum), appended in
+//   order. The checksum makes torn (power-loss-interrupted) writes
+//   detectable: startup counts them and moves the write cursor past their
+//   half-programmed cells; reads skip them. Invalidation appends a
+//   tombstone record; refresh compacts live values onto the prepared page
+//   and drops tombstones.
+// Every mark is a single one-time program of an erased cell, respecting the
+// flash's program-after-erase-only rule.
+// ---------------------------------------------------------------------------
+
+const char* eeprom_emulation_source() {
+  return R"MINIC(
+/* ======================= EEPROM emulation software ======================= */
+
+/* --- flash controller register map (see flash/flash_controller.hpp) --- */
+enum {
+  FLASH_CMD    = 0xF0000000,
+  FLASH_ADDR   = 0xF0000004,
+  FLASH_DATA   = 0xF0000008,
+  FLASH_STATUS = 0xF000000C,
+  FLASH_ACK    = 0xF0000010,
+  FLASH_INJECT = 0xF0000014,
+  FLASH_ARRAY  = 0xF0000100
+};
+enum { CMD_ERASE_PAGE = 1, CMD_PROGRAM_WORD = 2 };
+enum { ST_BUSY = 1, ST_ERROR = 2, ST_READY = 4 };
+
+/* --- flash geometry (must match FlashConfig in the testbench) --- */
+enum { PAGES = 8, WORDS_PER_PAGE = 64, PAGE_BYTES = 256 };
+enum { DFA_POLL_LIMIT = 4096 };
+
+/* --- DFA layer return codes --- */
+enum { DFA_OK = 1, DFA_TIMEOUT = 2, DFA_FAIL = 3 };
+
+/* --- EEE layer return codes (the values the properties watch) --- */
+enum {
+  EEE_OK            = 1,
+  EEE_BUSY          = 2,
+  EEE_ERR_PARAMETER = 3,
+  EEE_ERR_POOL_FULL = 4,
+  EEE_ERR_NOT_FOUND = 5,
+  EEE_ERR_INTERNAL  = 6,
+  EEE_ERR_REJECTED  = 7,
+  EEE_ERR_NO_INSTANCE = 8
+};
+
+/* --- shared EEE state machine states --- */
+enum {
+  S_READY = 0, S_CHECK = 1, S_ERASE = 2, S_MARK = 3, S_COPY = 4,
+  S_PROGRAM = 5, S_VERIFY = 6, S_FINISH = 7, S_ABORT = 8, S_ERROR = 9
+};
+
+/* --- page header marks (each programmed exactly once) --- */
+enum { MARK_PREPARED = 0x50505050, MARK_ACTIVE = 0x41414141,
+       MARK_INVALID = 0x49494949 };
+enum { HDR_PREPARED = 0, HDR_ACTIVE = 1, HDR_INVALID = 2 };
+/* A record is three words: id, value, checksum. The checksum makes torn
+   (power-loss-interrupted) writes detectable at startup and on read. */
+enum { RECORD_BASE_WORD = 4, RECORD_WORDS = 3 };
+enum { CHK_SEED = 0x5A5A0000 };
+enum { TOMBSTONE = 0x7EADDEAD };   /* value marking an invalidated id */
+enum { MAX_IDS = 8 };
+
+/* ============================ global state ============================ */
+
+bool flag;              /* SCTC handshake: software initialized            */
+int  eee_state;         /* current state of the running operation          */
+int  eee_active_page;   /* -1 when no active page                          */
+int  eee_prepared_page; /* -1 when no page is prepared                     */
+int  eee_cursor;        /* next free record slot in the active page        */
+int  eee_initialized;   /* startup completed                               */
+
+int  read_value;        /* out-parameter of EEE_Read                       */
+
+/* per-operation return registers: the testbench's coverage taps these    */
+int  ret_format;
+int  ret_prepare;
+int  ret_read;
+int  ret_write;
+int  ret_refresh;
+int  ret_startup1;
+int  ret_startup2;
+
+int  ret_invalidate;
+int  eee_torn;          /* torn (checksum-invalid) records seen at startup */
+
+int  current_op;        /* operation dispatched by the main loop           */
+int  test_cases;        /* completed operation count                       */
+
+/* ============================ DFA layer ============================ */
+
+unsigned dfa_read_word(unsigned offset) {
+  return *(FLASH_ARRAY + offset);
+}
+
+int dfa_status(void) {
+  return *(FLASH_STATUS);
+}
+
+int dfa_busy(void) {
+  int s = dfa_status();
+  return (s & ST_BUSY) != 0;
+}
+
+int dfa_had_error(void) {
+  int s = dfa_status();
+  return (s & ST_ERROR) != 0;
+}
+
+void dfa_ack_error(void) {
+  *(FLASH_ACK) = 1;
+}
+
+int dfa_wait_ready(void) {
+  int i;
+  for (i = 0; i < DFA_POLL_LIMIT; i++) {
+    int b = dfa_busy();
+    if (b == 0) { return DFA_OK; }
+  }
+  return DFA_TIMEOUT;
+}
+
+int dfa_erase_page(int page) {
+  if (page < 0) { return DFA_FAIL; }
+  if (page >= PAGES) { return DFA_FAIL; }
+  *(FLASH_ADDR) = page * PAGE_BYTES;
+  *(FLASH_CMD) = CMD_ERASE_PAGE;
+  int w = dfa_wait_ready();
+  if (w != DFA_OK) { return DFA_TIMEOUT; }
+  int e = dfa_had_error();
+  if (e != 0) {
+    dfa_ack_error();
+    return DFA_FAIL;
+  }
+  return DFA_OK;
+}
+
+int dfa_program_word(unsigned offset, unsigned data) {
+  *(FLASH_ADDR) = offset;
+  *(FLASH_DATA) = data;
+  *(FLASH_CMD) = CMD_PROGRAM_WORD;
+  int w = dfa_wait_ready();
+  if (w != DFA_OK) { return DFA_TIMEOUT; }
+  int e = dfa_had_error();
+  if (e != 0) {
+    dfa_ack_error();
+    return DFA_FAIL;
+  }
+  return DFA_OK;
+}
+
+void dfa_inject_fault(void) {
+  *(FLASH_INJECT) = 1;
+}
+
+/* ============================ EEE helpers ============================ */
+
+unsigned eee_page_offset(int page) {
+  return page * PAGE_BYTES;
+}
+
+unsigned eee_header(int page, int which) {
+  unsigned base = eee_page_offset(page);
+  return dfa_read_word(base + which * 4);
+}
+
+int eee_page_is_prepared(int page) {
+  unsigned h = eee_header(page, HDR_PREPARED);
+  return h == MARK_PREPARED;
+}
+
+int eee_page_is_active(int page) {
+  unsigned a = eee_header(page, HDR_ACTIVE);
+  if (a != MARK_ACTIVE) { return 0; }
+  unsigned i = eee_header(page, HDR_INVALID);
+  if (i == MARK_INVALID) { return 0; }
+  return 1;
+}
+
+int eee_mark_page(int page, int which, unsigned mark) {
+  unsigned base = eee_page_offset(page);
+  int r = dfa_program_word(base + which * 4, mark);
+  return r;
+}
+
+unsigned eee_record_offset(int page, int slot) {
+  unsigned base = eee_page_offset(page);
+  return base + (RECORD_BASE_WORD + slot * RECORD_WORDS) * 4;
+}
+
+int eee_slots_per_page(void) {
+  return (WORDS_PER_PAGE - RECORD_BASE_WORD) / RECORD_WORDS;
+}
+
+unsigned eee_checksum(unsigned id, unsigned value) {
+  return (id ^ value) ^ CHK_SEED;
+}
+
+/* 1 when the slot holds a complete, checksum-valid record. */
+int eee_slot_valid(int page, int slot) {
+  unsigned off = eee_record_offset(page, slot);
+  unsigned rid = dfa_read_word(off);
+  if (rid == 0xFFFFFFFF) { return 0; }
+  unsigned value = dfa_read_word(off + 4);
+  unsigned chk = dfa_read_word(off + 8);
+  if (chk != eee_checksum(rid, value)) { return 0; }
+  return 1;
+}
+
+/* Scans the active page backwards for the newest record with `id`.
+   Returns the slot index, or -1 if the id was never written. */
+int eee_find_record(int id) {
+  int slot;
+  for (slot = eee_cursor - 1; slot >= 0; slot--) {
+    unsigned off = eee_record_offset(eee_active_page, slot);
+    unsigned rid = dfa_read_word(off);
+    if (rid == id) {
+      int valid = eee_slot_valid(eee_active_page, slot);
+      if (valid == 1) { return slot; }
+      /* torn record: skip and keep scanning for an older complete one */
+    }
+  }
+  return -1;
+}
+
+/* Appends (id, value) at the cursor. DFA_* result code. */
+int eee_append_record(int id, int value) {
+  unsigned off = eee_record_offset(eee_active_page, eee_cursor);
+  int r = dfa_program_word(off, id);
+  if (r != DFA_OK) { return r; }
+  r = dfa_program_word(off + 4, value);
+  if (r != DFA_OK) { return r; }
+  r = dfa_program_word(off + 8, eee_checksum(id, value));
+  if (r != DFA_OK) { return r; }
+  eee_cursor = eee_cursor + 1;
+  return DFA_OK;
+}
+
+/* Counts programmed record slots on `page` (first erased id cell stops). */
+/* Scans `page` for the write cursor: the first slot whose id cell is still
+   erased. Torn records (non-erased but checksum-invalid) are counted into
+   eee_torn; the cursor moves past them so later writes cannot collide with
+   their half-programmed cells. */
+int eee_count_records(int page) {
+  int slot;
+  int limit = eee_slots_per_page();
+  for (slot = 0; slot < limit; slot++) {
+    unsigned off = eee_record_offset(page, slot);
+    unsigned rid = dfa_read_word(off);
+    if (rid == 0xFFFFFFFF) { return slot; }
+    int valid = eee_slot_valid(page, slot);
+    if (valid == 0) {
+      eee_torn = eee_torn + 1;
+    }
+  }
+  return limit;
+}
+
+/* ============================ EEE operations ============================ */
+
+/* Format: erase the whole pool and activate page 0. */
+int EEE_Format(void) {
+  int page = 0;
+  int result = 0;
+  eee_state = S_READY;
+  while (1) {
+    switch (eee_state) {
+      case S_READY:
+        page = 0;
+        eee_state = S_ERASE;
+        break;
+      case S_ERASE:
+        if (page >= PAGES) {
+          eee_state = S_MARK;
+          break;
+        }
+        result = dfa_erase_page(page);
+        if (result != DFA_OK) {
+          eee_state = S_ERROR;
+          break;
+        }
+        page = page + 1;
+        break;
+      case S_MARK:
+        result = eee_mark_page(0, HDR_PREPARED, MARK_PREPARED);
+        if (result != DFA_OK) {
+          eee_state = S_ERROR;
+          break;
+        }
+        result = eee_mark_page(0, HDR_ACTIVE, MARK_ACTIVE);
+        if (result != DFA_OK) {
+          eee_state = S_ERROR;
+          break;
+        }
+        eee_state = S_FINISH;
+        break;
+      case S_FINISH:
+        eee_active_page = 0;
+        eee_prepared_page = -1;
+        eee_cursor = 0;
+        eee_initialized = 1;
+        return EEE_OK;
+      case S_ERROR:
+        eee_initialized = 0;
+        eee_active_page = -1;
+        return EEE_ERR_INTERNAL;
+      default:
+        eee_state = S_ERROR;
+        break;
+    }
+  }
+  return EEE_ERR_INTERNAL;
+}
+
+/* Startup1: locate the active page. */
+int EEE_Startup1(void) {
+  int page;
+  eee_state = S_CHECK;
+  for (page = 0; page < PAGES; page++) {
+    int act = eee_page_is_active(page);
+    if (act == 1) {
+      eee_active_page = page;
+      eee_state = S_FINISH;
+      return EEE_OK;
+    }
+  }
+  eee_state = S_ABORT;
+  eee_active_page = -1;
+  eee_initialized = 0;
+  return EEE_ERR_NO_INSTANCE;
+}
+
+/* Startup2: restore the write cursor; completes initialization. */
+int EEE_Startup2(void) {
+  eee_state = S_CHECK;
+  if (eee_active_page < 0) {
+    eee_state = S_ABORT;
+    return EEE_ERR_REJECTED;
+  }
+  eee_cursor = eee_count_records(eee_active_page);
+  /* Resume an interrupted refresh: a prepared page that is not yet active. */
+  int page;
+  eee_prepared_page = -1;
+  for (page = 0; page < PAGES; page++) {
+    int prep = eee_page_is_prepared(page);
+    if (prep == 1) {
+      int act = eee_page_is_active(page);
+      unsigned inv = eee_header(page, HDR_INVALID);
+      if (act == 0) {
+        if (inv != MARK_INVALID) {
+          eee_prepared_page = page;
+        }
+      }
+    }
+  }
+  eee_initialized = 1;
+  eee_state = S_FINISH;
+  return EEE_OK;
+}
+
+/* Read: newest value of `id` into read_value. */
+int EEE_Read(int id) {
+  eee_state = S_CHECK;
+  if (eee_initialized == 0) {
+    eee_state = S_ABORT;
+    return EEE_ERR_REJECTED;
+  }
+  if (id < 0) {
+    eee_state = S_ABORT;
+    return EEE_ERR_PARAMETER;
+  }
+  if (id >= MAX_IDS) {
+    eee_state = S_ABORT;
+    return EEE_ERR_PARAMETER;
+  }
+  eee_state = S_PROGRAM; /* scanning state */
+  int slot = eee_find_record(id);
+  if (slot < 0) {
+    eee_state = S_FINISH;
+    return EEE_ERR_NOT_FOUND;
+  }
+  unsigned off = eee_record_offset(eee_active_page, slot);
+  unsigned stored = dfa_read_word(off + 4);
+  if (stored == TOMBSTONE) {
+    eee_state = S_FINISH;
+    return EEE_ERR_NOT_FOUND;   /* the id was invalidated */
+  }
+  read_value = stored;
+  eee_state = S_FINISH;
+  return EEE_OK;
+}
+
+/* Invalidate: logically deletes an id by appending a tombstone record. */
+int EEE_Invalidate(int id) {
+  eee_state = S_CHECK;
+  if (eee_initialized == 0) {
+    eee_state = S_ABORT;
+    return EEE_ERR_REJECTED;
+  }
+  if (id < 0) { eee_state = S_ABORT; return EEE_ERR_PARAMETER; }
+  if (id >= MAX_IDS) {
+    eee_state = S_ABORT;
+    return EEE_ERR_PARAMETER;
+  }
+  int slot = eee_find_record(id);
+  if (slot < 0) {
+    eee_state = S_FINISH;
+    return EEE_ERR_NOT_FOUND;
+  }
+  if (eee_cursor >= eee_slots_per_page()) {
+    eee_state = S_ERROR;
+    return EEE_ERR_POOL_FULL;
+  }
+  eee_state = S_PROGRAM;
+  int r = eee_append_record(id, TOMBSTONE);
+  if (r != DFA_OK) {
+    eee_state = S_ERROR;
+    return EEE_ERR_INTERNAL;
+  }
+  eee_state = S_FINISH;
+  return EEE_OK;
+}
+
+/* Write: append a record for `id`. */
+int EEE_Write(int id, int value) {
+  int result = 0;
+  eee_state = S_CHECK;
+  while (1) {
+    switch (eee_state) {
+      case S_CHECK:
+        if (eee_initialized == 0) {
+          eee_state = S_ABORT;
+          break;
+        }
+        if (id < 0) { eee_state = S_ABORT; break; }
+        if (id >= MAX_IDS) {
+          eee_state = S_ABORT;
+          break;
+        }
+        if (eee_cursor >= eee_slots_per_page()) {
+          eee_state = S_ERROR; /* pool full: distinct exit below */
+          result = EEE_ERR_POOL_FULL;
+          break;
+        }
+        eee_state = S_PROGRAM;
+        break;
+      case S_PROGRAM:
+        result = eee_append_record(id, value);
+        if (result != DFA_OK) {
+          result = EEE_ERR_INTERNAL;
+          eee_state = S_ERROR;
+          break;
+        }
+        eee_state = S_VERIFY;
+        break;
+      case S_VERIFY: {
+        unsigned off = eee_record_offset(eee_active_page, eee_cursor - 1);
+        unsigned stored = dfa_read_word(off + 4);
+        if (stored != value) {
+          result = EEE_ERR_INTERNAL;
+          eee_state = S_ERROR;
+          break;
+        }
+        eee_state = S_FINISH;
+        break;
+      }
+      case S_FINISH:
+        return EEE_OK;
+      case S_ABORT:
+        if (eee_initialized == 0) { return EEE_ERR_REJECTED; }
+        return EEE_ERR_PARAMETER;
+      case S_ERROR:
+        if (result == 0) { result = EEE_ERR_INTERNAL; }
+        return result;
+      default:
+        eee_state = S_ERROR;
+        break;
+    }
+  }
+  return EEE_ERR_INTERNAL;
+}
+
+/* Prepare: erase the successor page and mark it PREPARED. */
+int EEE_Prepare(void) {
+  int result = 0;
+  int target = 0;
+  eee_state = S_CHECK;
+  while (1) {
+    switch (eee_state) {
+      case S_CHECK:
+        if (eee_initialized == 0) {
+          eee_state = S_ABORT;
+          break;
+        }
+        target = eee_active_page + 1;
+        if (target >= PAGES) { target = 0; }
+        eee_state = S_ERASE;
+        break;
+      case S_ERASE:
+        result = dfa_erase_page(target);
+        if (result != DFA_OK) {
+          eee_state = S_ERROR;
+          break;
+        }
+        eee_state = S_MARK;
+        break;
+      case S_MARK:
+        result = eee_mark_page(target, HDR_PREPARED, MARK_PREPARED);
+        if (result != DFA_OK) {
+          eee_state = S_ERROR;
+          break;
+        }
+        eee_state = S_FINISH;
+        break;
+      case S_FINISH:
+        eee_prepared_page = target;
+        return EEE_OK;
+      case S_ABORT:
+        return EEE_ERR_REJECTED;
+      case S_ERROR:
+        return EEE_ERR_INTERNAL;
+      default:
+        eee_state = S_ERROR;
+        break;
+    }
+  }
+  return EEE_ERR_INTERNAL;
+}
+
+/* Refresh: move the newest value of every id to the prepared page and
+   switch over. */
+int EEE_Refresh(void) {
+  int result = 0;
+  int id = 0;
+  int copied = 0;
+  int old_page = 0;
+  eee_state = S_CHECK;
+  while (1) {
+    switch (eee_state) {
+      case S_CHECK:
+        if (eee_initialized == 0) {
+          eee_state = S_ABORT;
+          break;
+        }
+        if (eee_prepared_page < 0) {
+          eee_state = S_ABORT;
+          break;
+        }
+        id = 0;
+        copied = 0;
+        eee_state = S_COPY;
+        break;
+      case S_COPY: {
+        if (id >= MAX_IDS) {
+          eee_state = S_MARK;
+          break;
+        }
+        int slot = eee_find_record(id);
+        if (slot >= 0) {
+          unsigned src = eee_record_offset(eee_active_page, slot);
+          unsigned value = dfa_read_word(src + 4);
+          if (value != TOMBSTONE) {   /* deleted ids are not carried over */
+            unsigned dst = eee_record_offset(eee_prepared_page, copied);
+            result = dfa_program_word(dst, id);
+            if (result != DFA_OK) {
+              result = EEE_ERR_INTERNAL;
+              eee_state = S_ERROR;
+              break;
+            }
+            result = dfa_program_word(dst + 4, value);
+            if (result != DFA_OK) {
+              result = EEE_ERR_INTERNAL;
+              eee_state = S_ERROR;
+              break;
+            }
+            result = dfa_program_word(dst + 8, eee_checksum(id, value));
+            if (result != DFA_OK) {
+              result = EEE_ERR_INTERNAL;
+              eee_state = S_ERROR;
+              break;
+            }
+            copied = copied + 1;
+          }
+        }
+        id = id + 1;
+        break;
+      }
+      case S_MARK:
+        result = eee_mark_page(eee_prepared_page, HDR_ACTIVE, MARK_ACTIVE);
+        if (result != DFA_OK) {
+          result = EEE_ERR_INTERNAL;
+          eee_state = S_ERROR;
+          break;
+        }
+        result = eee_mark_page(eee_active_page, HDR_INVALID, MARK_INVALID);
+        if (result != DFA_OK) {
+          result = EEE_ERR_INTERNAL;
+          eee_state = S_ERROR;
+          break;
+        }
+        eee_state = S_FINISH;
+        break;
+      case S_FINISH:
+        old_page = eee_active_page;
+        eee_active_page = eee_prepared_page;
+        eee_prepared_page = -1;
+        eee_cursor = copied;
+        return EEE_OK;
+      case S_ABORT:
+        return EEE_ERR_REJECTED;
+      case S_ERROR:
+        if (result == 0) { result = EEE_ERR_INTERNAL; }
+        return result;
+      default:
+        eee_state = S_ERROR;
+        break;
+    }
+  }
+  return EEE_ERR_INTERNAL;
+}
+
+/* ============================ application layer ============================ */
+
+/* All stimulus inputs are drawn unconditionally at the top so the draw
+   order is identical on every path — both execution platforms and the
+   formal engines then agree on which input is which. */
+void app_dispatch(int op) {
+  int id = __in(rec_id);
+  int data = __in(wdata);
+  current_op = op;
+  if (op == 0) {
+    ret_format = 0;
+    ret_format = EEE_Format();
+  } else if (op == 1) {
+    ret_startup1 = 0;
+    ret_startup1 = EEE_Startup1();
+  } else if (op == 2) {
+    ret_startup2 = 0;
+    ret_startup2 = EEE_Startup2();
+  } else if (op == 3) {
+    ret_read = 0;
+    ret_read = EEE_Read(id);
+  } else if (op == 4) {
+    ret_write = 0;
+    ret_write = EEE_Write(id, data);
+  } else if (op == 5) {
+    ret_prepare = 0;
+    ret_prepare = EEE_Prepare();
+  } else if (op == 6) {
+    ret_refresh = 0;
+    ret_refresh = EEE_Refresh();
+  } else {
+    ret_invalidate = 0;
+    ret_invalidate = EEE_Invalidate(id);
+  }
+}
+
+void main(void) {
+  /* Initialization & SCTC handshake protocol. */
+  eee_active_page = -1;
+  eee_prepared_page = -1;
+  eee_initialized = 0;
+  flag = true;
+
+  while (1) {
+    int op = __in(op_select);
+    int fault = __in(inject_fault);
+    if (op < 0) { op = -op; }
+    op = op % 8;
+    if (fault == 1) {
+      dfa_inject_fault();
+    }
+    app_dispatch(op);
+    test_cases = test_cases + 1;
+  }
+}
+)MINIC";
+}
+
+}  // namespace esv::casestudy

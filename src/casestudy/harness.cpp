@@ -1,0 +1,179 @@
+#include "casestudy/harness.hpp"
+
+#include <chrono>
+
+#include "cpu/codegen.hpp"
+#include "cpu/cpu.hpp"
+#include "esw/esw_program.hpp"
+#include "esw/esw_model.hpp"
+#include "esw/interpreter.hpp"
+#include "flash/flash_controller.hpp"
+#include "minic/sema.hpp"
+#include "sctc/esw_monitor.hpp"
+#include "sim/clock.hpp"
+#include "stimulus/coverage.hpp"
+#include "stimulus/random_inputs.hpp"
+
+namespace esv::casestudy {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// RAM large enough for the software's data segment, rounded up.
+std::uint32_t ram_bytes_for(const minic::Program& program) {
+  const std::uint32_t end = program.data_segment_end();
+  return (end + 0xFFFu) & ~0xFFFu;
+}
+
+void fill_result_from_checker(ExperimentResult& result,
+                              const sctc::TemporalChecker& checker) {
+  const sctc::PropertyRecord& record = checker.properties().front();
+  result.verdict = record.verdict();
+  result.temporal_steps = checker.steps();
+  result.automaton_states = record.automaton_states;
+}
+
+}  // namespace
+
+ExperimentResult run_with_microprocessor(const OperationSpec& op,
+                                         const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.operation = op.name;
+
+  // Build the platform (not counted as verification time: this is the
+  // compile/link step of the design flow).
+  minic::Program program = minic::compile(eeprom_emulation_source());
+  cpu::CodeImage image = cpu::compile_to_image(program);
+  mem::AddressSpace memory(ram_bytes_for(program));
+  flash::FlashController flash_dev(eeprom_flash_config());
+  memory.map_device(kFlashMmioBase, flash_dev.window_bytes(), flash_dev);
+  stimulus::RandomInputProvider inputs(config.seed);
+  stimulus::configure_eeprom_inputs(inputs, config.fault_permille);
+  stimulus::ReturnCodeCoverage coverage(op.return_codes);
+
+  const std::uint32_t flag_addr = program.find_global("flag")->address;
+  const std::uint32_t tc_addr = program.find_global("test_cases")->address;
+  const std::uint32_t ret_addr =
+      program.find_global(op.ret_global)->address;
+  result.property_text = response_property(op, config.time_bound, config.shape);
+
+  sim::Simulation sim;
+  sim::Clock clock(sim, "clk", sim::Time::ns(10));
+  cpu::Cpu core(sim, "cpu", image, memory, inputs, clock);
+
+  const auto started = Clock::now();
+  double ar_seconds = 0.0;
+
+  sctc::EswMonitor monitor(
+      sim, "esw", clock.posedge_event(), memory, flag_addr,
+      [&](sctc::TemporalChecker& checker) {
+        register_operation_propositions(checker, memory, program, op);
+        const auto synth_start = Clock::now();
+        checker.add_property(op.name, result.property_text);
+        ar_seconds = seconds_since(synth_start);
+      },
+      config.mode);
+
+  // Testbench supervision: coverage sampling and stop conditions, clocked
+  // like the checker.
+  sim.create_method(
+      "supervisor",
+      [&] {
+        coverage.observe(memory.sctc_read_uint(ret_addr));
+        const std::uint64_t test_cases = memory.sctc_read_uint(tc_addr);
+        const bool decided = monitor.initialized() &&
+                             monitor.checker().all_decided();
+        if (test_cases >= config.max_test_cases || decided ||
+            core.trapped() || core.halted() ||
+            clock.cycles() >= config.max_steps) {
+          sim.stop();
+        }
+      },
+      {&clock.posedge_event()}, /*run_at_start=*/false);
+
+  sim.run();
+
+  result.verification_seconds = seconds_since(started);
+  result.ar_generation_seconds = ar_seconds;
+  result.test_cases = memory.sctc_read_uint(tc_addr);
+  result.coverage_percent = coverage.percent();
+  result.coverage_anomalies = coverage.anomaly_count();
+  result.cpu_trapped = core.trapped();
+  fill_result_from_checker(result, monitor.checker());
+  return result;
+}
+
+ExperimentResult run_with_esw_model(const OperationSpec& op,
+                                    const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.operation = op.name;
+
+  minic::Program program = minic::compile(eeprom_emulation_source());
+  esw::EswProgram lowered = esw::lower_program(program);
+  mem::AddressSpace memory(ram_bytes_for(program));
+  flash::FlashController flash_dev(eeprom_flash_config());
+  memory.map_device(kFlashMmioBase, flash_dev.window_bytes(), flash_dev);
+  stimulus::RandomInputProvider inputs(config.seed);
+  stimulus::configure_eeprom_inputs(inputs, config.fault_permille);
+  stimulus::ReturnCodeCoverage coverage(op.return_codes);
+
+  const std::uint32_t tc_addr = program.find_global("test_cases")->address;
+  const std::uint32_t ret_addr =
+      program.find_global(op.ret_global)->address;
+  result.property_text = response_property(op, config.time_bound, config.shape);
+
+  sim::Simulation sim;
+  sctc::TemporalChecker checker(sim, "sctc", config.mode);
+  register_operation_propositions(checker, memory, program, op);
+
+  const auto started = Clock::now();
+  const auto synth_start = Clock::now();
+  checker.add_property(op.name, result.property_text);
+  result.ar_generation_seconds = seconds_since(synth_start);
+
+  if (config.esw_in_kernel) {
+    // The paper's setup: the derived model is a thread process whose
+    // pc event triggers the checker through the kernel.
+    esw::EswModel model(sim, "esw", program, lowered, memory, inputs);
+    checker.bind_trigger(model.pc_event());
+    sim.create_method(
+        "supervisor",
+        [&] {
+          coverage.observe(memory.sctc_read_uint(ret_addr));
+          if (checker.all_decided() || model.finished() ||
+              memory.sctc_read_uint(tc_addr) >= config.max_test_cases ||
+              model.interpreter().steps_executed() >= config.max_steps) {
+            sim.stop();
+          }
+        },
+        {&model.pc_event()}, /*run_at_start=*/false);
+    sim.run();
+  } else {
+    // Kernel-free lockstep: identical semantics (one statement = one
+    // temporal step), maximum speed.
+    esw::Interpreter interpreter(program, lowered, memory, inputs);
+    std::uint64_t steps = 0;
+    while (steps < config.max_steps) {
+      if (!interpreter.step()) break;
+      ++steps;
+      checker.step_all();
+      coverage.observe(memory.sctc_read_uint(ret_addr));
+      if (checker.all_decided()) break;
+      if (memory.sctc_read_uint(tc_addr) >= config.max_test_cases) break;
+    }
+  }
+
+  result.verification_seconds = seconds_since(started);
+  result.test_cases = memory.sctc_read_uint(tc_addr);
+  result.coverage_percent = coverage.percent();
+  result.coverage_anomalies = coverage.anomaly_count();
+  fill_result_from_checker(result, checker);
+  return result;
+}
+
+}  // namespace esv::casestudy

@@ -1,0 +1,31 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+namespace esv::common {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kSilent: return "";
+  }
+  return "";
+}
+}  // namespace
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+LogLevel Logger::level() { return g_level; }
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(g_level) >= static_cast<int>(level)) {
+    std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+  }
+}
+
+}  // namespace esv::common

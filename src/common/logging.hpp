@@ -1,0 +1,36 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// enable with Logger::set_level(Level::kDebug) when debugging a simulation.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace esv::common {
+
+enum class LogLevel { kSilent = 0, kError, kWarn, kInfo, kDebug };
+
+class Logger {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Emits one line to stderr if `level` is enabled.
+  static void log(LogLevel level, const std::string& message);
+};
+
+#define ESV_LOG(level, expr)                                                  \
+  do {                                                                        \
+    if (static_cast<int>(::esv::common::Logger::level()) >=                   \
+        static_cast<int>(level)) {                                            \
+      std::ostringstream esv_log_stream_;                                     \
+      esv_log_stream_ << expr;                                                \
+      ::esv::common::Logger::log(level, esv_log_stream_.str());               \
+    }                                                                         \
+  } while (false)
+
+#define ESV_DEBUG(expr) ESV_LOG(::esv::common::LogLevel::kDebug, expr)
+#define ESV_INFO(expr) ESV_LOG(::esv::common::LogLevel::kInfo, expr)
+#define ESV_WARN(expr) ESV_LOG(::esv::common::LogLevel::kWarn, expr)
+#define ESV_ERROR(expr) ESV_LOG(::esv::common::LogLevel::kError, expr)
+
+}  // namespace esv::common

@@ -1,0 +1,78 @@
+#include "common/rng.hpp"
+
+namespace esv::common {
+
+namespace {
+
+// splitmix64 is the recommended seeder for xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::next_below: bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+std::int64_t Rng::next_in_range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::next_in_range: lo > hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range.
+  const std::uint64_t off = (span == 0) ? next_u64() : next_below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + off);
+}
+
+bool Rng::next_chance(std::uint32_t num, std::uint32_t den) {
+  if (den == 0) throw std::invalid_argument("Rng::next_chance: den must be > 0");
+  if (num >= den) return true;
+  return next_below(den) < num;
+}
+
+std::size_t Rng::next_weighted(std::span<const std::uint32_t> weights) {
+  std::uint64_t total = 0;
+  for (auto w : weights) total += w;
+  if (total == 0) throw std::invalid_argument("Rng::next_weighted: all weights zero");
+  std::uint64_t pick = next_below(total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (pick < weights[i]) return i;
+    pick -= weights[i];
+  }
+  return weights.size() - 1;  // unreachable; silences the compiler
+}
+
+std::size_t Rng::next_weighted(std::initializer_list<std::uint32_t> weights) {
+  const std::vector<std::uint32_t> v(weights);
+  return next_weighted(std::span<const std::uint32_t>(v));
+}
+
+}  // namespace esv::common

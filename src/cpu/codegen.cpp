@@ -1,0 +1,406 @@
+#include "cpu/codegen.hpp"
+
+#include <stdexcept>
+
+namespace esv::cpu {
+
+using minic::BinaryOp;
+using minic::Expr;
+using minic::Function;
+using minic::Program;
+using minic::RefKind;
+using minic::Stmt;
+using minic::UnaryOp;
+
+namespace {
+
+Opcode binary_opcode(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kMul: return Opcode::kMul;
+    case BinaryOp::kDiv: return Opcode::kDiv;
+    case BinaryOp::kMod: return Opcode::kMod;
+    case BinaryOp::kAdd: return Opcode::kAdd;
+    case BinaryOp::kSub: return Opcode::kSub;
+    case BinaryOp::kShl: return Opcode::kShl;
+    case BinaryOp::kShr: return Opcode::kShr;
+    case BinaryOp::kLt: return Opcode::kLt;
+    case BinaryOp::kLe: return Opcode::kLe;
+    case BinaryOp::kGt: return Opcode::kGt;
+    case BinaryOp::kGe: return Opcode::kGe;
+    case BinaryOp::kEq: return Opcode::kEq;
+    case BinaryOp::kNe: return Opcode::kNe;
+    case BinaryOp::kBitAnd: return Opcode::kBitAnd;
+    case BinaryOp::kBitXor: return Opcode::kBitXor;
+    case BinaryOp::kBitOr: return Opcode::kBitOr;
+    case BinaryOp::kLogicalAnd:
+    case BinaryOp::kLogicalOr:
+      break;  // lowered with jumps
+  }
+  throw std::logic_error("binary_opcode: unexpected operator");
+}
+
+class Codegen {
+ public:
+  explicit Codegen(const Program& program) : program_(program) {}
+
+  CodeImage run() {
+    image_.source = &program_;
+    image_.functions.resize(program_.functions.size());
+    for (const auto& fn : program_.functions) {
+      gen_function(*fn);
+    }
+    image_.entry_pc =
+        image_.functions[static_cast<std::size_t>(
+                             program_.find_function("main")->index)]
+            .entry_pc;
+    return std::move(image_);
+  }
+
+ private:
+  std::uint32_t pc() const {
+    return static_cast<std::uint32_t>(image_.code.size());
+  }
+
+  std::uint32_t emit(Opcode op, std::uint32_t operand = 0, int line = 0) {
+    image_.code.push_back(Instruction{op, operand, line});
+    return pc() - 1;
+  }
+
+  void patch(std::uint32_t at, std::uint32_t target) {
+    image_.code[at].operand = target;
+  }
+
+  void gen_function(const Function& fn) {
+    FunctionInfo& info =
+        image_.functions[static_cast<std::size_t>(fn.index)];
+    info.source = &fn;
+    info.entry_pc = pc();
+    info.param_count = static_cast<std::uint32_t>(fn.params.size());
+    temp_base_ = fn.max_slots;
+    temp_depth_ = 0;
+    temp_max_ = 0;
+    break_stack_.clear();
+    continue_stack_.clear();
+    current_ = &fn;
+
+    // fname = FUNCTION_NAME instrumentation.
+    emit(Opcode::kPushImm, static_cast<std::uint32_t>(fn.index + 1), fn.line);
+    emit(Opcode::kStoreGlobal, program_.fname_address, fn.line);
+
+    for (const auto& stmt : fn.body) gen_stmt(*stmt);
+
+    // Implicit return at the end of the body.
+    if (fn.returns_value) {
+      emit(Opcode::kPushImm, 0, fn.line);
+      emit(Opcode::kRetVal, 0, fn.line);
+    } else {
+      emit(Opcode::kRet, 0, fn.line);
+    }
+    info.frame_slots = static_cast<std::uint32_t>(fn.max_slots + temp_max_);
+    current_ = nullptr;
+  }
+
+  // --- statements -------------------------------------------------------------
+
+  void gen_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kBlock:
+        for (const auto& child : s.body) gen_stmt(*child);
+        return;
+      case Stmt::Kind::kExpr:
+        gen_expr(*s.expr);
+        emit(Opcode::kPop, 0, s.line);
+        return;
+      case Stmt::Kind::kAssign:
+        gen_assign(*s.target, *s.expr, s.line);
+        return;
+      case Stmt::Kind::kLocalDecl:
+        if (s.expr) {
+          gen_expr(*s.expr);
+          emit(Opcode::kStoreLocal, static_cast<std::uint32_t>(s.slot), s.line);
+        }
+        return;
+      case Stmt::Kind::kIf: {
+        gen_expr(*s.expr);
+        const std::uint32_t to_else = emit(Opcode::kJumpIfZero, 0, s.line);
+        for (const auto& child : s.body) gen_stmt(*child);
+        if (s.else_body.empty()) {
+          patch(to_else, pc());
+        } else {
+          const std::uint32_t to_end = emit(Opcode::kJump, 0, s.line);
+          patch(to_else, pc());
+          for (const auto& child : s.else_body) gen_stmt(*child);
+          patch(to_end, pc());
+        }
+        return;
+      }
+      case Stmt::Kind::kWhile: {
+        const std::uint32_t cond_at = pc();
+        gen_expr(*s.expr);
+        const std::uint32_t to_end = emit(Opcode::kJumpIfZero, 0, s.line);
+        push_loop();
+        for (const auto& child : s.body) gen_stmt(*child);
+        emit(Opcode::kJump, cond_at, s.line);
+        patch(to_end, pc());
+        pop_loop(pc(), cond_at);
+        return;
+      }
+      case Stmt::Kind::kDoWhile: {
+        const std::uint32_t body_at = pc();
+        push_loop();
+        for (const auto& child : s.body) gen_stmt(*child);
+        const std::uint32_t cond_at = pc();
+        gen_expr(*s.expr);
+        emit(Opcode::kJumpIfNotZero, body_at, s.line);
+        pop_loop(pc(), cond_at);
+        return;
+      }
+      case Stmt::Kind::kFor: {
+        if (s.init) gen_stmt(*s.init);
+        const std::uint32_t cond_at = pc();
+        std::uint32_t to_end = 0;
+        const bool has_cond = s.expr != nullptr;
+        if (has_cond) {
+          gen_expr(*s.expr);
+          to_end = emit(Opcode::kJumpIfZero, 0, s.line);
+        }
+        push_loop();
+        for (const auto& child : s.body) gen_stmt(*child);
+        const std::uint32_t step_at = pc();
+        if (s.step) gen_stmt(*s.step);
+        emit(Opcode::kJump, cond_at, s.line);
+        if (has_cond) patch(to_end, pc());
+        pop_loop(pc(), step_at);
+        return;
+      }
+      case Stmt::Kind::kSwitch: {
+        // Stash the selector in a codegen temporary, then compare per case.
+        const int sel_slot = alloc_temp();
+        gen_expr(*s.expr);
+        emit(Opcode::kStoreLocal, static_cast<std::uint32_t>(sel_slot),
+             s.line);
+        std::vector<std::uint32_t> case_jumps(s.cases.size());
+        std::uint32_t default_jump = 0;
+        bool has_default = false;
+        for (std::size_t i = 0; i < s.cases.size(); ++i) {
+          if (s.cases[i].is_default) continue;
+          emit(Opcode::kLoadLocal, static_cast<std::uint32_t>(sel_slot),
+               s.cases[i].line);
+          emit(Opcode::kPushImm,
+               static_cast<std::uint32_t>(s.cases[i].value), s.cases[i].line);
+          emit(Opcode::kEq, 0, s.cases[i].line);
+          case_jumps[i] = emit(Opcode::kJumpIfNotZero, 0, s.cases[i].line);
+        }
+        for (const auto& c : s.cases) {
+          if (c.is_default) has_default = true;
+        }
+        default_jump = emit(Opcode::kJump, 0, s.line);
+        break_stack_.emplace_back();
+        std::vector<std::uint32_t> case_starts(s.cases.size());
+        std::uint32_t default_start = 0;
+        for (std::size_t i = 0; i < s.cases.size(); ++i) {
+          case_starts[i] = pc();
+          if (s.cases[i].is_default) default_start = pc();
+          for (const auto& child : s.cases[i].body) gen_stmt(*child);
+        }
+        const std::uint32_t end = pc();
+        for (std::size_t i = 0; i < s.cases.size(); ++i) {
+          if (!s.cases[i].is_default) patch(case_jumps[i], case_starts[i]);
+        }
+        patch(default_jump, has_default ? default_start : end);
+        for (std::uint32_t b : break_stack_.back()) patch(b, end);
+        break_stack_.pop_back();
+        release_temp();
+        return;
+      }
+      case Stmt::Kind::kReturn:
+        if (s.expr) {
+          gen_expr(*s.expr);
+          emit(Opcode::kRetVal, 0, s.line);
+        } else {
+          emit(Opcode::kRet, 0, s.line);
+        }
+        return;
+      case Stmt::Kind::kBreak:
+        if (break_stack_.empty()) {
+          throw std::logic_error("codegen: break without target");
+        }
+        break_stack_.back().push_back(emit(Opcode::kJump, 0, s.line));
+        return;
+      case Stmt::Kind::kContinue:
+        if (continue_stack_.empty()) {
+          throw std::logic_error("codegen: continue without target");
+        }
+        continue_stack_.back().push_back(emit(Opcode::kJump, 0, s.line));
+        return;
+      case Stmt::Kind::kAssert:
+        gen_expr(*s.expr);
+        emit(Opcode::kAssertNz, 0, s.line);
+        return;
+      case Stmt::Kind::kAssume:
+        gen_expr(*s.expr);
+        emit(Opcode::kAssumeNz, 0, s.line);
+        return;
+    }
+  }
+
+  void push_loop() {
+    break_stack_.emplace_back();
+    continue_stack_.emplace_back();
+  }
+
+  void pop_loop(std::uint32_t break_target, std::uint32_t continue_target) {
+    for (std::uint32_t b : break_stack_.back()) patch(b, break_target);
+    break_stack_.pop_back();
+    for (std::uint32_t c : continue_stack_.back()) patch(c, continue_target);
+    continue_stack_.pop_back();
+  }
+
+  void gen_assign(const Expr& target, const Expr& value, int line) {
+    switch (target.kind) {
+      case Expr::Kind::kVarRef:
+        gen_expr(value);
+        if (target.ref == RefKind::kLocal) {
+          emit(Opcode::kStoreLocal, static_cast<std::uint32_t>(target.slot),
+               line);
+        } else {
+          emit(Opcode::kStoreGlobal, target.address, line);
+        }
+        return;
+      case Expr::Kind::kIndex:
+        gen_expr(*target.children[0]);  // index
+        gen_expr(value);
+        emit(Opcode::kStoreIndexed, target.address, line);
+        return;
+      case Expr::Kind::kMemRead:
+        gen_expr(*target.children[0]);  // address
+        gen_expr(value);
+        emit(Opcode::kStoreIndirect, 0, line);
+        return;
+      default:
+        throw std::logic_error("codegen: invalid assignment target");
+    }
+  }
+
+  // --- expressions --------------------------------------------------------------
+
+  void gen_expr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLit:
+      case Expr::Kind::kBoolLit:
+        emit(Opcode::kPushImm, static_cast<std::uint32_t>(e.value), e.line);
+        return;
+      case Expr::Kind::kVarRef:
+        switch (e.ref) {
+          case RefKind::kLocal:
+            emit(Opcode::kLoadLocal, static_cast<std::uint32_t>(e.slot),
+                 e.line);
+            return;
+          case RefKind::kGlobal:
+            emit(Opcode::kLoadGlobal, e.address, e.line);
+            return;
+          case RefKind::kConst:
+            emit(Opcode::kPushImm, static_cast<std::uint32_t>(e.value),
+                 e.line);
+            return;
+          case RefKind::kUnresolved:
+            break;
+        }
+        throw std::logic_error("codegen: unresolved variable");
+      case Expr::Kind::kIndex:
+        gen_expr(*e.children[0]);
+        emit(Opcode::kLoadIndexed, e.address, e.line);
+        return;
+      case Expr::Kind::kCall: {
+        for (const auto& arg : e.children) gen_expr(*arg);
+        emit(Opcode::kCall,
+             static_cast<std::uint32_t>(e.callee->index), e.line);
+        if (!e.callee->returns_value) {
+          // Void calls in expression position cannot occur (sema); bare call
+          // statements pop the pushed dummy below. Push a dummy so that the
+          // statement-level kPop stays uniform.
+          emit(Opcode::kPushImm, 0, e.line);
+        }
+        return;
+      }
+      case Expr::Kind::kUnary:
+        gen_expr(*e.children[0]);
+        switch (e.unary_op) {
+          case UnaryOp::kNot: emit(Opcode::kNot, 0, e.line); return;
+          case UnaryOp::kNeg: emit(Opcode::kNeg, 0, e.line); return;
+          case UnaryOp::kBitNot: emit(Opcode::kBitNot, 0, e.line); return;
+        }
+        return;
+      case Expr::Kind::kBinary: {
+        if (e.binary_op == BinaryOp::kLogicalAnd) {
+          gen_expr(*e.children[0]);
+          const std::uint32_t to_false = emit(Opcode::kJumpIfZero, 0, e.line);
+          gen_expr(*e.children[1]);
+          emit(Opcode::kBool, 0, e.line);
+          const std::uint32_t to_end = emit(Opcode::kJump, 0, e.line);
+          patch(to_false, pc());
+          emit(Opcode::kPushImm, 0, e.line);
+          patch(to_end, pc());
+          return;
+        }
+        if (e.binary_op == BinaryOp::kLogicalOr) {
+          gen_expr(*e.children[0]);
+          const std::uint32_t to_true = emit(Opcode::kJumpIfNotZero, 0, e.line);
+          gen_expr(*e.children[1]);
+          emit(Opcode::kBool, 0, e.line);
+          const std::uint32_t to_end = emit(Opcode::kJump, 0, e.line);
+          patch(to_true, pc());
+          emit(Opcode::kPushImm, 1, e.line);
+          patch(to_end, pc());
+          return;
+        }
+        gen_expr(*e.children[0]);
+        gen_expr(*e.children[1]);
+        emit(binary_opcode(e.binary_op), 0, e.line);
+        return;
+      }
+      case Expr::Kind::kTernary: {
+        gen_expr(*e.children[0]);
+        const std::uint32_t to_else = emit(Opcode::kJumpIfZero, 0, e.line);
+        gen_expr(*e.children[1]);
+        const std::uint32_t to_end = emit(Opcode::kJump, 0, e.line);
+        patch(to_else, pc());
+        gen_expr(*e.children[2]);
+        patch(to_end, pc());
+        return;
+      }
+      case Expr::Kind::kMemRead:
+        gen_expr(*e.children[0]);
+        emit(Opcode::kLoadIndirect, 0, e.line);
+        return;
+      case Expr::Kind::kInput:
+        emit(Opcode::kInput, static_cast<std::uint32_t>(e.input_id), e.line);
+        return;
+    }
+    throw std::logic_error("codegen: unknown expression");
+  }
+
+  int alloc_temp() {
+    const int slot = temp_base_ + temp_depth_++;
+    temp_max_ = std::max(temp_max_, temp_depth_);
+    return slot;
+  }
+  void release_temp() { --temp_depth_; }
+
+  const Program& program_;
+  CodeImage image_;
+  const Function* current_ = nullptr;
+  int temp_base_ = 0;
+  int temp_depth_ = 0;
+  int temp_max_ = 0;
+  std::vector<std::vector<std::uint32_t>> break_stack_;
+  std::vector<std::vector<std::uint32_t>> continue_stack_;
+};
+
+}  // namespace
+
+CodeImage compile_to_image(const Program& program) {
+  return Codegen(program).run();
+}
+
+}  // namespace esv::cpu

@@ -1,0 +1,18 @@
+// Code generator: resolved mini-C AST -> CodeImage for the microprocessor.
+//
+// This is the "cross-compiler" of the paper's first approach: the same C
+// program that the C2SystemC translator derives a SystemC model from is here
+// compiled for the processor. Function entries begin with the fname
+// instrumentation (fname = FUNCTION_NAME as a store to the fname global) so
+// that function-sequence properties can be monitored from memory.
+#pragma once
+
+#include "cpu/isa.hpp"
+
+namespace esv::cpu {
+
+/// Compiles a resolved program. Throws std::runtime_error on internal
+/// inconsistencies (which sema should have prevented).
+CodeImage compile_to_image(const minic::Program& program);
+
+}  // namespace esv::cpu

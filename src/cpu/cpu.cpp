@@ -1,0 +1,380 @@
+#include "cpu/cpu.hpp"
+
+#include <sstream>
+
+namespace esv::cpu {
+
+// ---------------------------------------------------------------------------
+// ISA utilities
+
+const char* mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kPushImm: return "pushi";
+    case Opcode::kPop: return "pop";
+    case Opcode::kLoadGlobal: return "ldg";
+    case Opcode::kStoreGlobal: return "stg";
+    case Opcode::kLoadLocal: return "ldl";
+    case Opcode::kStoreLocal: return "stl";
+    case Opcode::kLoadIndexed: return "ldx";
+    case Opcode::kStoreIndexed: return "stx";
+    case Opcode::kLoadIndirect: return "ldi";
+    case Opcode::kStoreIndirect: return "sti";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kMod: return "mod";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kBitAnd: return "and";
+    case Opcode::kBitOr: return "or";
+    case Opcode::kBitXor: return "xor";
+    case Opcode::kLt: return "lt";
+    case Opcode::kLe: return "le";
+    case Opcode::kGt: return "gt";
+    case Opcode::kGe: return "ge";
+    case Opcode::kEq: return "eq";
+    case Opcode::kNe: return "ne";
+    case Opcode::kNot: return "not";
+    case Opcode::kNeg: return "neg";
+    case Opcode::kBitNot: return "bnot";
+    case Opcode::kBool: return "bool";
+    case Opcode::kJump: return "jmp";
+    case Opcode::kJumpIfZero: return "jz";
+    case Opcode::kJumpIfNotZero: return "jnz";
+    case Opcode::kCall: return "call";
+    case Opcode::kRet: return "ret";
+    case Opcode::kRetVal: return "retv";
+    case Opcode::kInput: return "in";
+    case Opcode::kAssertNz: return "assert";
+    case Opcode::kAssumeNz: return "assume";
+    case Opcode::kHalt: return "halt";
+  }
+  return "?";
+}
+
+bool is_memory_op(Opcode op) {
+  switch (op) {
+    case Opcode::kLoadGlobal:
+    case Opcode::kStoreGlobal:
+    case Opcode::kLoadIndexed:
+    case Opcode::kStoreIndexed:
+    case Opcode::kLoadIndirect:
+    case Opcode::kStoreIndirect:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string CodeImage::disassemble() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const FunctionInfo& fn : functions) {
+      if (fn.entry_pc == i && fn.source != nullptr) {
+        out << fn.source->name << ":\n";
+      }
+    }
+    out << "  " << i << ": " << mnemonic(code[i].op);
+    switch (code[i].op) {
+      case Opcode::kPushImm:
+      case Opcode::kLoadGlobal:
+      case Opcode::kStoreGlobal:
+      case Opcode::kLoadLocal:
+      case Opcode::kStoreLocal:
+      case Opcode::kLoadIndexed:
+      case Opcode::kStoreIndexed:
+      case Opcode::kJump:
+      case Opcode::kJumpIfZero:
+      case Opcode::kJumpIfNotZero:
+      case Opcode::kCall:
+      case Opcode::kInput:
+        out << " " << code[i].operand;
+        break;
+      default:
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Cpu
+
+Cpu::Cpu(sim::Simulation& sim, std::string name, const CodeImage& image,
+         mem::AddressSpace& memory, minic::InputProvider& inputs,
+         sim::Clock& clock, CpuTiming timing)
+    : sim::Module(sim, std::move(name)),
+      image_(image),
+      memory_(memory),
+      inputs_(inputs),
+      timing_(timing) {
+  reset();
+  sim_.spawn(sub_name("core"), run(clock));
+}
+
+void Cpu::load_data_segment() {
+  const minic::Program& program = *image_.source;
+  for (const auto& g : program.globals) {
+    for (std::uint32_t i = 0; i < g.words; ++i) {
+      const std::int32_t v = i < g.init.size() ? g.init[i] : 0;
+      memory_.write_word(g.address + i * 4, static_cast<std::uint32_t>(v));
+    }
+  }
+}
+
+void Cpu::reset() {
+  load_data_segment();
+  pc_ = image_.entry_pc;
+  stack_.clear();
+  frames_.clear();
+  const FunctionInfo& main_info =
+      image_.functions[static_cast<std::size_t>(
+          image_.source->find_function("main")->index)];
+  Frame frame;
+  frame.return_pc = 0;
+  frame.returns_value = false;
+  frame.slots.assign(main_info.frame_slots, 0);
+  frame.fn_index =
+      static_cast<std::uint32_t>(image_.source->find_function("main")->index);
+  frames_.push_back(std::move(frame));
+  halted_ = false;
+  trapped_ = false;
+  trap_message_.clear();
+  instructions_ = 0;
+  cycles_ = 0;
+  pending_wait_states_ = 0;
+}
+
+void Cpu::trap(const std::string& message) {
+  trapped_ = true;
+  halted_ = true;
+  trap_message_ = message;
+}
+
+std::uint32_t Cpu::pop() {
+  if (stack_.empty()) {
+    trap("value stack underflow");
+    return 0;
+  }
+  const std::uint32_t v = stack_.back();
+  stack_.pop_back();
+  return v;
+}
+
+sim::Task Cpu::run(sim::Clock& clock) {
+  for (;;) {
+    co_await clock.posedge_event();
+    if (halted_) {
+      if (stop_on_halt_) sim_.stop();
+      co_return;
+    }
+    if (pending_wait_states_ > 0) {
+      // Multi-cycle instruction: burn the wait state.
+      --pending_wait_states_;
+      ++cycles_;
+      memory_.tick_devices();
+      continue;
+    }
+    step_instruction();
+    ++cycles_;
+    memory_.tick_devices();
+  }
+}
+
+bool Cpu::step_instruction() {
+  if (halted_) return false;
+  if (pc_ >= image_.code.size()) {
+    trap("pc out of code range");
+    return false;
+  }
+  const Instruction inst = image_.code[pc_];
+  ++instructions_;
+  // Multicycle instruction: fetch + decode cycles, plus wait states on data
+  // memory, are burned after the (architecturally atomic) execute step.
+  pending_wait_states_ = timing_.fetch_cycles + timing_.decode_cycles;
+  if (is_memory_op(inst.op)) {
+    pending_wait_states_ += timing_.memory_wait_states;
+  }
+  std::uint32_t next_pc = pc_ + 1;
+
+  const auto line_tag = [&inst] {
+    return " (line " + std::to_string(inst.line) + ")";
+  };
+
+  try {
+    switch (inst.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kPushImm:
+        push(inst.operand);
+        break;
+      case Opcode::kPop:
+        pop();
+        break;
+      case Opcode::kLoadGlobal:
+        push(memory_.read_word(inst.operand));
+        break;
+      case Opcode::kStoreGlobal:
+        memory_.write_word(inst.operand, pop());
+        break;
+      case Opcode::kLoadLocal:
+        push(frames_.back().slots.at(inst.operand));
+        break;
+      case Opcode::kStoreLocal:
+        frames_.back().slots.at(inst.operand) = pop();
+        break;
+      case Opcode::kLoadIndexed: {
+        const std::uint32_t index = pop();
+        push(memory_.read_word(inst.operand + index * 4));
+        break;
+      }
+      case Opcode::kStoreIndexed: {
+        const std::uint32_t value = pop();
+        const std::uint32_t index = pop();
+        memory_.write_word(inst.operand + index * 4, value);
+        break;
+      }
+      case Opcode::kLoadIndirect:
+        push(memory_.read_word(pop()));
+        break;
+      case Opcode::kStoreIndirect: {
+        const std::uint32_t value = pop();
+        const std::uint32_t address = pop();
+        memory_.write_word(address, value);
+        break;
+      }
+      case Opcode::kAdd: { const auto b = pop(), a = pop(); push(a + b); break; }
+      case Opcode::kSub: { const auto b = pop(), a = pop(); push(a - b); break; }
+      case Opcode::kMul: { const auto b = pop(), a = pop(); push(a * b); break; }
+      case Opcode::kDiv: {
+        const auto b = pop(), a = pop();
+        if (b == 0) {
+          trap("division by zero" + line_tag());
+          return false;
+        }
+        push(static_cast<std::uint32_t>(static_cast<std::int32_t>(a) /
+                                        static_cast<std::int32_t>(b)));
+        break;
+      }
+      case Opcode::kMod: {
+        const auto b = pop(), a = pop();
+        if (b == 0) {
+          trap("modulo by zero" + line_tag());
+          return false;
+        }
+        push(static_cast<std::uint32_t>(static_cast<std::int32_t>(a) %
+                                        static_cast<std::int32_t>(b)));
+        break;
+      }
+      case Opcode::kShl: { const auto b = pop(), a = pop(); push(a << (b & 31)); break; }
+      case Opcode::kShr: { const auto b = pop(), a = pop(); push(a >> (b & 31)); break; }
+      case Opcode::kBitAnd: { const auto b = pop(), a = pop(); push(a & b); break; }
+      case Opcode::kBitOr: { const auto b = pop(), a = pop(); push(a | b); break; }
+      case Opcode::kBitXor: { const auto b = pop(), a = pop(); push(a ^ b); break; }
+      case Opcode::kLt: {
+        const auto b = pop(), a = pop();
+        push(static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b) ? 1 : 0);
+        break;
+      }
+      case Opcode::kLe: {
+        const auto b = pop(), a = pop();
+        push(static_cast<std::int32_t>(a) <= static_cast<std::int32_t>(b) ? 1 : 0);
+        break;
+      }
+      case Opcode::kGt: {
+        const auto b = pop(), a = pop();
+        push(static_cast<std::int32_t>(a) > static_cast<std::int32_t>(b) ? 1 : 0);
+        break;
+      }
+      case Opcode::kGe: {
+        const auto b = pop(), a = pop();
+        push(static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b) ? 1 : 0);
+        break;
+      }
+      case Opcode::kEq: { const auto b = pop(), a = pop(); push(a == b ? 1 : 0); break; }
+      case Opcode::kNe: { const auto b = pop(), a = pop(); push(a != b ? 1 : 0); break; }
+      case Opcode::kNot: push(pop() == 0 ? 1 : 0); break;
+      case Opcode::kNeg:
+        push(static_cast<std::uint32_t>(-static_cast<std::int32_t>(pop())));
+        break;
+      case Opcode::kBitNot: push(~pop()); break;
+      case Opcode::kBool: push(pop() != 0 ? 1 : 0); break;
+      case Opcode::kJump:
+        next_pc = inst.operand;
+        break;
+      case Opcode::kJumpIfZero:
+        if (pop() == 0) next_pc = inst.operand;
+        break;
+      case Opcode::kJumpIfNotZero:
+        if (pop() != 0) next_pc = inst.operand;
+        break;
+      case Opcode::kCall: {
+        const FunctionInfo& callee = image_.functions.at(inst.operand);
+        Frame frame;
+        frame.return_pc = pc_ + 1;
+        frame.returns_value = callee.source->returns_value;
+        frame.slots.assign(callee.frame_slots, 0);
+        frame.fn_index = inst.operand;
+        // Arguments were pushed left to right; pop them right to left.
+        for (std::uint32_t i = callee.param_count; i > 0; --i) {
+          frame.slots[i - 1] = pop();
+        }
+        frames_.push_back(std::move(frame));
+        next_pc = callee.entry_pc;
+        break;
+      }
+      case Opcode::kRet:
+      case Opcode::kRetVal: {
+        std::uint32_t value = 0;
+        if (inst.op == Opcode::kRetVal) value = pop();
+        const Frame frame = std::move(frames_.back());
+        frames_.pop_back();
+        if (frames_.empty()) {
+          halted_ = true;
+          return false;
+        }
+        if (inst.op == Opcode::kRetVal) push(value);
+        next_pc = frame.return_pc;
+        // Restore the caller's fname context, mirroring the derived model:
+        // fname always names the function that is currently executing.
+        memory_.write_word(image_.source->fname_address,
+                           frames_.back().fn_index + 1);
+        break;
+      }
+      case Opcode::kInput:
+        push(inputs_.input(static_cast<int>(inst.operand),
+                           image_.source->input_names.at(inst.operand)));
+        break;
+      case Opcode::kAssertNz:
+        if (pop() == 0) {
+          trap("assertion failed" + line_tag());
+          return false;
+        }
+        break;
+      case Opcode::kAssumeNz:
+        if (pop() == 0) {
+          // Violated assumption: the run ends without a trap.
+          halted_ = true;
+          return false;
+        }
+        break;
+      case Opcode::kHalt:
+        halted_ = true;
+        return false;
+    }
+  } catch (const mem::MemoryFault& fault) {
+    trap(std::string("memory fault: ") + fault.what() + line_tag());
+    return false;
+  } catch (const std::out_of_range&) {
+    trap("frame slot out of range" + line_tag());
+    return false;
+  }
+
+  pc_ = next_pc;
+  return !halted_;
+}
+
+}  // namespace esv::cpu

@@ -1,0 +1,84 @@
+// Instruction set of the microprocessor model.
+//
+// A compact 32-bit stack machine in the spirit of small automotive MCU cores:
+// load/store architecture against the shared AddressSpace, one instruction
+// per clock cycle plus wait states for memory accesses. The paper only
+// requires that (a) the software's variables live at memory addresses the
+// SCTC can read over the bus and (b) progress is paced by the processor
+// clock; both hold for this core.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace esv::cpu {
+
+enum class Opcode : std::uint8_t {
+  kNop,
+  // data movement
+  kPushImm,        // push operand
+  kPop,            // discard top
+  kLoadGlobal,     // push mem[operand]
+  kStoreGlobal,    // mem[operand] = pop
+  kLoadLocal,      // push frame[operand]
+  kStoreLocal,     // frame[operand] = pop
+  kLoadIndexed,    // idx = pop; push mem[operand + idx*4]
+  kStoreIndexed,   // val = pop, idx = pop; mem[operand + idx*4] = val
+  kLoadIndirect,   // addr = pop; push mem[addr]
+  kStoreIndirect,  // val = pop, addr = pop; mem[addr] = val
+  // arithmetic / logic (binary ops pop rhs then lhs, push result)
+  kAdd, kSub, kMul, kDiv, kMod,
+  kShl, kShr,
+  kBitAnd, kBitOr, kBitXor,
+  kLt, kLe, kGt, kGe, kEq, kNe,  // signed comparisons, push 0/1
+  kNot, kNeg, kBitNot,           // unary, operate on top
+  kBool,                         // normalize top to 0/1
+  // control
+  kJump,           // pc = operand
+  kJumpIfZero,     // if pop == 0: pc = operand
+  kJumpIfNotZero,  // if pop != 0: pc = operand
+  kCall,           // operand = function index; args are on the stack
+  kRet,            // return void
+  kRetVal,         // return pop as the call's value
+  // environment
+  kInput,          // push input(operand)
+  kAssertNz,       // trap if pop == 0
+  kAssumeNz,       // halt quietly if pop == 0 (violated assumption)
+  kHalt,
+};
+
+/// Mnemonic for disassembly / debugging.
+const char* mnemonic(Opcode op);
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint32_t operand = 0;
+  int line = 0;  // source line, for traps and traces
+};
+
+/// Per-function metadata the Call/Ret machinery needs.
+struct FunctionInfo {
+  const minic::Function* source = nullptr;
+  std::uint32_t entry_pc = 0;
+  std::uint32_t param_count = 0;
+  std::uint32_t frame_slots = 0;  // locals + codegen temporaries
+};
+
+/// A compiled program: code, per-function metadata, and the data image.
+struct CodeImage {
+  const minic::Program* source = nullptr;
+  std::vector<Instruction> code;
+  std::vector<FunctionInfo> functions;  // indexed by Function::index
+  std::uint32_t entry_pc = 0;           // first instruction of main
+
+  std::string disassemble() const;
+};
+
+/// True for instructions that access data memory (they cost wait states).
+bool is_memory_op(Opcode op);
+
+}  // namespace esv::cpu

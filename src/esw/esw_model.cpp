@@ -1,0 +1,38 @@
+#include "esw/esw_model.hpp"
+
+namespace esv::esw {
+
+EswModel::EswModel(sim::Simulation& sim, std::string name,
+                   const minic::Program& program, const EswProgram& lowered,
+                   mem::AddressSpace& memory, minic::InputProvider& inputs,
+                   sim::Time statement_time)
+    : sim::Module(sim, std::move(name)),
+      interpreter_(program, lowered, memory, inputs),
+      pc_event_(sim, sub_name("esw_pc_event")),
+      statement_time_(statement_time) {
+  sim_.spawn(sub_name("esw_sc_thread"), run());
+}
+
+sim::Task EswModel::run() {
+  while (interpreter_.step()) {
+    pc_event_.notify();
+    co_await sim_.delay(statement_time_);
+  }
+  // Final event so monitors observe the state after the last statement.
+  pc_event_.notify();
+}
+
+std::uint64_t run_standalone(Interpreter& interpreter,
+                             sctc::TemporalChecker& checker,
+                             std::uint64_t max_steps) {
+  std::uint64_t executed = 0;
+  while (executed < max_steps) {
+    if (!interpreter.step()) break;
+    ++executed;
+    checker.step_all();
+    if (checker.all_decided()) break;
+  }
+  return executed;
+}
+
+}  // namespace esv::esw

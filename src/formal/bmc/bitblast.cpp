@@ -1,0 +1,285 @@
+#include "formal/bmc/bitblast.hpp"
+
+namespace esv::formal::bmc {
+
+CircuitBuilder::CircuitBuilder(sat::Solver& solver) : solver_(solver) {
+  true_lit_ = solver_.new_var();
+  solver_.add_unit(true_lit_);
+}
+
+Lit CircuitBuilder::fresh() { return solver_.new_var(); }
+
+Lit CircuitBuilder::and_(Lit a, Lit b) {
+  if (is_const(a)) return const_value(a) ? b : false_lit();
+  if (is_const(b)) return const_value(b) ? a : false_lit();
+  if (a == b) return a;
+  if (a == -b) return false_lit();
+  const Lit out = fresh();
+  ++gates_;
+  solver_.add_clause({-out, a});
+  solver_.add_clause({-out, b});
+  solver_.add_clause({out, -a, -b});
+  return out;
+}
+
+Lit CircuitBuilder::or_(Lit a, Lit b) { return -and_(-a, -b); }
+
+Lit CircuitBuilder::xor_(Lit a, Lit b) {
+  if (is_const(a)) return const_value(a) ? -b : b;
+  if (is_const(b)) return const_value(b) ? -a : a;
+  if (a == b) return false_lit();
+  if (a == -b) return true_lit();
+  const Lit out = fresh();
+  ++gates_;
+  solver_.add_clause({-out, a, b});
+  solver_.add_clause({-out, -a, -b});
+  solver_.add_clause({out, -a, b});
+  solver_.add_clause({out, a, -b});
+  return out;
+}
+
+Lit CircuitBuilder::mux(Lit sel, Lit then_lit, Lit else_lit) {
+  if (is_const(sel)) return const_value(sel) ? then_lit : else_lit;
+  if (then_lit == else_lit) return then_lit;
+  return or_(and_(sel, then_lit), and_(-sel, else_lit));
+}
+
+Lit CircuitBuilder::and_many(const std::vector<Lit>& lits) {
+  Lit acc = true_lit();
+  for (Lit l : lits) acc = and_(acc, l);
+  return acc;
+}
+
+Lit CircuitBuilder::or_many(const std::vector<Lit>& lits) {
+  Lit acc = false_lit();
+  for (Lit l : lits) acc = or_(acc, l);
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+
+BitVec BvBuilder::constant(std::uint32_t value) const {
+  BitVec v;
+  for (int i = 0; i < 32; ++i) {
+    v.bits[static_cast<std::size_t>(i)] = c_.constant((value >> i) & 1u);
+  }
+  return v;
+}
+
+BitVec BvBuilder::fresh() {
+  BitVec v;
+  for (auto& bit : v.bits) bit = c_.fresh();
+  return v;
+}
+
+bool BvBuilder::try_constant(const BitVec& v, std::uint32_t& out) const {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 32; ++i) {
+    const Lit l = v.bits[static_cast<std::size_t>(i)];
+    if (!c_.is_const(l)) return false;
+    if (c_.const_value(l)) value |= (1u << i);
+  }
+  out = value;
+  return true;
+}
+
+BitVec BvBuilder::and_(const BitVec& a, const BitVec& b) {
+  BitVec out;
+  for (std::size_t i = 0; i < 32; ++i) out.bits[i] = c_.and_(a.bits[i], b.bits[i]);
+  return out;
+}
+
+BitVec BvBuilder::or_(const BitVec& a, const BitVec& b) {
+  BitVec out;
+  for (std::size_t i = 0; i < 32; ++i) out.bits[i] = c_.or_(a.bits[i], b.bits[i]);
+  return out;
+}
+
+BitVec BvBuilder::xor_(const BitVec& a, const BitVec& b) {
+  BitVec out;
+  for (std::size_t i = 0; i < 32; ++i) out.bits[i] = c_.xor_(a.bits[i], b.bits[i]);
+  return out;
+}
+
+BitVec BvBuilder::not_(const BitVec& a) {
+  BitVec out;
+  for (std::size_t i = 0; i < 32; ++i) out.bits[i] = -a.bits[i];
+  return out;
+}
+
+BitVec BvBuilder::add(const BitVec& a, const BitVec& b) {
+  BitVec out;
+  Lit carry = c_.false_lit();
+  for (std::size_t i = 0; i < 32; ++i) {
+    const Lit axb = c_.xor_(a.bits[i], b.bits[i]);
+    out.bits[i] = c_.xor_(axb, carry);
+    carry = c_.or_(c_.and_(a.bits[i], b.bits[i]), c_.and_(axb, carry));
+  }
+  return out;
+}
+
+BitVec BvBuilder::sub(const BitVec& a, const BitVec& b) {
+  // a - b = a + ~b + 1.
+  BitVec out;
+  Lit carry = c_.true_lit();
+  for (std::size_t i = 0; i < 32; ++i) {
+    const Lit nb = -b.bits[i];
+    const Lit axb = c_.xor_(a.bits[i], nb);
+    out.bits[i] = c_.xor_(axb, carry);
+    carry = c_.or_(c_.and_(a.bits[i], nb), c_.and_(axb, carry));
+  }
+  return out;
+}
+
+BitVec BvBuilder::neg(const BitVec& a) { return sub(constant(0), a); }
+
+BitVec BvBuilder::mul(const BitVec& a, const BitVec& b) {
+  BitVec acc = constant(0);
+  for (unsigned i = 0; i < 32; ++i) {
+    // acc += b[i] ? (a << i) : 0
+    const BitVec shifted = shl_const(a, i);
+    acc = ite(b.bits[i], add(acc, shifted), acc);
+  }
+  return acc;
+}
+
+void BvBuilder::udivrem(const BitVec& a, const BitVec& b, BitVec& quotient,
+                        BitVec& remainder) {
+  // Restoring division, MSB first.
+  BitVec r = constant(0);
+  BitVec q = constant(0);
+  for (int i = 31; i >= 0; --i) {
+    // r = (r << 1) | a[i]
+    r = shl_const(r, 1);
+    r.bits[0] = a.bits[static_cast<std::size_t>(i)];
+    const Lit ge = ule(b, r);
+    r = ite(ge, sub(r, b), r);
+    q.bits[static_cast<std::size_t>(i)] = ge;
+  }
+  quotient = q;
+  remainder = r;
+}
+
+BitVec BvBuilder::sdiv(const BitVec& a, const BitVec& b) {
+  const Lit sa = a.bits[31];
+  const Lit sb = b.bits[31];
+  const BitVec abs_a = ite(sa, neg(a), a);
+  const BitVec abs_b = ite(sb, neg(b), b);
+  BitVec q;
+  BitVec r;
+  udivrem(abs_a, abs_b, q, r);
+  const Lit flip = c_.xor_(sa, sb);
+  return ite(flip, neg(q), q);
+}
+
+BitVec BvBuilder::srem(const BitVec& a, const BitVec& b) {
+  const Lit sa = a.bits[31];
+  const Lit sb = b.bits[31];
+  const BitVec abs_a = ite(sa, neg(a), a);
+  const BitVec abs_b = ite(sb, neg(b), b);
+  BitVec q;
+  BitVec r;
+  udivrem(abs_a, abs_b, q, r);
+  return ite(sa, neg(r), r);  // remainder takes the dividend's sign
+}
+
+BitVec BvBuilder::shl_const(const BitVec& a, unsigned count) const {
+  BitVec out = constant(0);
+  for (unsigned i = count; i < 32; ++i) out.bits[i] = a.bits[i - count];
+  return out;
+}
+
+BitVec BvBuilder::lshr_const(const BitVec& a, unsigned count) const {
+  BitVec out = constant(0);
+  for (unsigned i = count; i < 32; ++i) out.bits[i - count] = a.bits[i];
+  return out;
+}
+
+BitVec BvBuilder::shl(const BitVec& a, const BitVec& count) {
+  std::uint32_t k = 0;
+  if (try_constant(count, k)) return shl_const(a, k & 31u);
+  BitVec acc = a;
+  for (unsigned stage = 0; stage < 5; ++stage) {
+    acc = ite(count.bits[stage], shl_const(acc, 1u << stage), acc);
+  }
+  return acc;
+}
+
+BitVec BvBuilder::lshr(const BitVec& a, const BitVec& count) {
+  std::uint32_t k = 0;
+  if (try_constant(count, k)) return lshr_const(a, k & 31u);
+  BitVec acc = a;
+  for (unsigned stage = 0; stage < 5; ++stage) {
+    acc = ite(count.bits[stage], lshr_const(acc, 1u << stage), acc);
+  }
+  return acc;
+}
+
+Lit BvBuilder::eq(const BitVec& a, const BitVec& b) {
+  Lit acc = c_.true_lit();
+  for (std::size_t i = 0; i < 32; ++i) {
+    acc = c_.and_(acc, -c_.xor_(a.bits[i], b.bits[i]));
+  }
+  return acc;
+}
+
+Lit BvBuilder::ult(const BitVec& a, const BitVec& b) {
+  // Ripple comparison from LSB to MSB.
+  Lit lt = c_.false_lit();
+  for (std::size_t i = 0; i < 32; ++i) {
+    const Lit eq_bit = -c_.xor_(a.bits[i], b.bits[i]);
+    const Lit a_lt_b = c_.and_(-a.bits[i], b.bits[i]);
+    lt = c_.or_(a_lt_b, c_.and_(eq_bit, lt));
+  }
+  return lt;
+}
+
+Lit BvBuilder::ule(const BitVec& a, const BitVec& b) { return -ult(b, a); }
+
+Lit BvBuilder::slt(const BitVec& a, const BitVec& b) {
+  const Lit sa = a.bits[31];
+  const Lit sb = b.bits[31];
+  // sa && !sb -> a < b; !sa && sb -> a > b; same sign -> unsigned compare.
+  const Lit diff_sign = c_.xor_(sa, sb);
+  return c_.mux(diff_sign, sa, ult(a, b));
+}
+
+Lit BvBuilder::sle(const BitVec& a, const BitVec& b) { return -slt(b, a); }
+
+Lit BvBuilder::is_zero(const BitVec& a) {
+  Lit any = c_.false_lit();
+  for (std::size_t i = 0; i < 32; ++i) any = c_.or_(any, a.bits[i]);
+  return -any;
+}
+
+BitVec BvBuilder::from_bool(Lit l) const {
+  BitVec v = constant(0);
+  v.bits[0] = l;
+  return v;
+}
+
+BitVec BvBuilder::ite(Lit sel, const BitVec& then_v, const BitVec& else_v) {
+  if (c_.is_const(sel)) return c_.const_value(sel) ? then_v : else_v;
+  BitVec out;
+  for (std::size_t i = 0; i < 32; ++i) {
+    out.bits[i] = c_.mux(sel, then_v.bits[i], else_v.bits[i]);
+  }
+  return out;
+}
+
+std::uint32_t BvBuilder::model_value(const BitVec& v) const {
+  std::uint32_t out = 0;
+  for (int i = 0; i < 32; ++i) {
+    const Lit l = v.bits[static_cast<std::size_t>(i)];
+    bool bit;
+    if (c_.is_const(l)) {
+      bit = c_.const_value(l);
+    } else {
+      bit = c_.solver().lit_value(l);
+    }
+    if (bit) out |= (1u << i);
+  }
+  return out;
+}
+
+}  // namespace esv::formal::bmc

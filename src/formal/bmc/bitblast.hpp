@@ -1,0 +1,114 @@
+// Bit-level circuit construction over the SAT solver (Tseitin encoding).
+//
+// BitVec is a 32-bit vector of literals (LSB first) mirroring the execution
+// platforms' semantics exactly: wrap-around arithmetic, signed comparisons
+// and division, shift counts masked to 5 bits. The builder constant-folds
+// aggressively so that fully concrete programs produce (almost) no clauses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "formal/sat/solver.hpp"
+
+namespace esv::formal::bmc {
+
+using sat::Lit;
+
+class CircuitBuilder {
+ public:
+  explicit CircuitBuilder(sat::Solver& solver);
+
+  sat::Solver& solver() { return solver_; }
+
+  Lit true_lit() const { return true_lit_; }
+  Lit false_lit() const { return -true_lit_; }
+  Lit constant(bool b) const { return b ? true_lit() : false_lit(); }
+  bool is_const(Lit l) const { return l == true_lit_ || l == -true_lit_; }
+  bool const_value(Lit l) const { return l == true_lit_; }
+
+  Lit fresh();
+
+  // Gates (with folding on constants and equal/complementary inputs).
+  Lit and_(Lit a, Lit b);
+  Lit or_(Lit a, Lit b);
+  Lit xor_(Lit a, Lit b);
+  Lit not_(Lit a) { return -a; }
+  Lit mux(Lit sel, Lit then_lit, Lit else_lit);
+  Lit and_many(const std::vector<Lit>& lits);
+  Lit or_many(const std::vector<Lit>& lits);
+
+  /// Asserts that `l` holds (assume).
+  void require(Lit l) { solver_.add_unit(l); }
+
+  std::uint64_t gate_count() const { return gates_; }
+
+ private:
+  sat::Solver& solver_;
+  Lit true_lit_;
+  std::uint64_t gates_ = 0;
+};
+
+struct BitVec {
+  std::array<Lit, 32> bits{};  // bits[0] = LSB
+};
+
+class BvBuilder {
+ public:
+  explicit BvBuilder(CircuitBuilder& circuit) : c_(circuit) {}
+
+  CircuitBuilder& circuit() { return c_; }
+
+  BitVec constant(std::uint32_t value) const;
+  BitVec fresh();
+  /// Constant value if every bit is constant.
+  bool try_constant(const BitVec& v, std::uint32_t& out) const;
+
+  // Bitwise.
+  BitVec and_(const BitVec& a, const BitVec& b);
+  BitVec or_(const BitVec& a, const BitVec& b);
+  BitVec xor_(const BitVec& a, const BitVec& b);
+  BitVec not_(const BitVec& a);
+
+  // Arithmetic (wrap-around).
+  BitVec add(const BitVec& a, const BitVec& b);
+  BitVec sub(const BitVec& a, const BitVec& b);
+  BitVec neg(const BitVec& a);
+  BitVec mul(const BitVec& a, const BitVec& b);
+  /// Signed division/remainder with C truncation semantics. The caller must
+  /// check divisor != 0 separately (division-by-zero assertion).
+  BitVec sdiv(const BitVec& a, const BitVec& b);
+  BitVec srem(const BitVec& a, const BitVec& b);
+
+  // Shifts (count masked to 5 bits, as on the execution platforms).
+  BitVec shl(const BitVec& a, const BitVec& count);
+  BitVec lshr(const BitVec& a, const BitVec& count);
+  BitVec shl_const(const BitVec& a, unsigned count) const;
+  BitVec lshr_const(const BitVec& a, unsigned count) const;
+
+  // Predicates.
+  Lit eq(const BitVec& a, const BitVec& b);
+  Lit ult(const BitVec& a, const BitVec& b);
+  Lit ule(const BitVec& a, const BitVec& b);
+  Lit slt(const BitVec& a, const BitVec& b);
+  Lit sle(const BitVec& a, const BitVec& b);
+  Lit is_zero(const BitVec& a);
+  Lit to_bool(const BitVec& a) { return -is_zero(a); }
+
+  /// Bool (0/1) to BitVec.
+  BitVec from_bool(Lit l) const;
+
+  BitVec ite(Lit sel, const BitVec& then_v, const BitVec& else_v);
+
+  /// Reads a concrete value out of a SAT model.
+  std::uint32_t model_value(const BitVec& v) const;
+
+ private:
+  void udivrem(const BitVec& a, const BitVec& b, BitVec& quotient,
+               BitVec& remainder);
+
+  CircuitBuilder& c_;
+};
+
+}  // namespace esv::formal::bmc

@@ -1,0 +1,594 @@
+#include "formal/bmc/bmc.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "formal/bmc/bitblast.hpp"
+
+namespace esv::formal::bmc {
+
+using minic::BinaryOp;
+using minic::Expr;
+using minic::Function;
+using minic::Program;
+using minic::RefKind;
+using minic::Stmt;
+using minic::UnaryOp;
+
+namespace {
+
+/// Unwinding aborted: formula grew past the gate budget.
+class GateBudgetExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class InlineDepthExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct CheckedAssertion {
+  Lit failure;  // true in a model iff the assertion fails on that path
+  int line;
+  std::string what;
+};
+
+class Unwinder {
+ public:
+  Unwinder(const Program& program, const BmcOptions& options,
+           sat::Solver& solver)
+      : program_(program),
+        options_(options),
+        circuit_(solver),
+        bv_(circuit_) {}
+
+  void run() {
+    init_globals();
+    const Function* main_fn = program_.find_function("main");
+    Lit returned = circuit_.false_lit();
+    BitVec ret_value = bv_.constant(0);
+    FrameCtx frame{std::vector<BitVec>(
+                       static_cast<std::size_t>(main_fn->max_slots),
+                       bv_.constant(0)),
+                   &returned, &ret_value, 0};
+    exec_body(main_fn->body, circuit_.true_lit(), frame);
+  }
+
+  CircuitBuilder& circuit() { return circuit_; }
+  BvBuilder& bv() { return bv_; }
+  const std::vector<CheckedAssertion>& properties() const {
+    return property_assertions_;
+  }
+  const std::vector<CheckedAssertion>& unwinding() const {
+    return unwinding_assertions_;
+  }
+  const std::vector<std::pair<std::string, BitVec>>& inputs() const {
+    return input_symbols_;
+  }
+
+ private:
+  struct FrameCtx {
+    std::vector<BitVec> slots;
+    Lit* returned;
+    BitVec* return_value;
+    std::uint32_t depth;
+  };
+
+  struct LoopCtx {
+    Lit broke;
+    Lit continued;  // per-iteration; reset by the loop driver
+  };
+
+  void budget_check() {
+    if (circuit_.gate_count() > options_.max_gates) {
+      throw GateBudgetExceeded("formula exceeded " +
+                               std::to_string(options_.max_gates) + " gates");
+    }
+  }
+
+  void init_globals() {
+    for (const auto& g : program_.globals) {
+      if (g.is_array) {
+        std::vector<BitVec> cells;
+        for (std::uint32_t i = 0; i < g.words; ++i) {
+          std::uint32_t v =
+              static_cast<std::uint32_t>(i < g.init.size() ? g.init[i] : 0);
+          auto it = options_.initial_globals.find(g.address + i * 4);
+          if (it != options_.initial_globals.end()) v = it->second;
+          cells.push_back(bv_.constant(v));
+        }
+        arrays_.emplace(g.address, std::move(cells));
+      } else {
+        std::uint32_t v =
+            static_cast<std::uint32_t>(g.init.empty() ? 0 : g.init[0]);
+        auto it = options_.initial_globals.find(g.address);
+        if (it != options_.initial_globals.end()) v = it->second;
+        scalars_.emplace(g.address, bv_.constant(v));
+      }
+    }
+  }
+
+  // --- statements ------------------------------------------------------------
+
+  /// live(ctx-local): conjunction of the block guard with "not returned /
+  /// broke / continued yet".
+  Lit live_of(Lit guard, const FrameCtx& frame, const LoopCtx* loop) {
+    Lit live = circuit_.and_(guard, -*frame.returned);
+    if (loop != nullptr) {
+      live = circuit_.and_(live, -loop->broke);
+      live = circuit_.and_(live, -loop->continued);
+    }
+    return live;
+  }
+
+  void exec_body(const std::vector<std::unique_ptr<Stmt>>& body, Lit guard,
+                 FrameCtx& frame, LoopCtx* loop = nullptr) {
+    for (const auto& stmt : body) {
+      budget_check();
+      exec_stmt(*stmt, live_of(guard, frame, loop), frame, loop);
+    }
+  }
+
+  void exec_stmt(const Stmt& s, Lit live, FrameCtx& frame, LoopCtx* loop) {
+    // Dead code under a constant-false guard contributes nothing: skip it
+    // entirely (this is what makes pinned-input queries cheap).
+    if (circuit_.is_const(live) && !circuit_.const_value(live)) return;
+    switch (s.kind) {
+      case Stmt::Kind::kBlock:
+        exec_body(s.body, live, frame, loop);
+        return;
+      case Stmt::Kind::kExpr:
+        eval(*s.expr, live, frame);
+        return;
+      case Stmt::Kind::kAssign: {
+        const BitVec value = eval(*s.expr, live, frame);
+        store(*s.target, value, live, frame);
+        return;
+      }
+      case Stmt::Kind::kLocalDecl: {
+        const BitVec value = s.expr != nullptr ? eval(*s.expr, live, frame)
+                                               : bv_.constant(0);
+        frame.slots[static_cast<std::size_t>(s.slot)] =
+            bv_.ite(live, value, frame.slots[static_cast<std::size_t>(s.slot)]);
+        return;
+      }
+      case Stmt::Kind::kIf: {
+        const Lit c = bv_.to_bool(eval(*s.expr, live, frame));
+        exec_body(s.body, circuit_.and_(live, c), frame, loop);
+        exec_body(s.else_body, circuit_.and_(live, -c), frame, loop);
+        return;
+      }
+      case Stmt::Kind::kWhile:
+        unwind_loop(live, frame, /*init=*/nullptr, s.expr.get(),
+                    /*step=*/nullptr, s.body, /*check_before=*/true, s.line);
+        return;
+      case Stmt::Kind::kDoWhile:
+        unwind_loop(live, frame, nullptr, s.expr.get(), nullptr, s.body,
+                    /*check_before=*/false, s.line);
+        return;
+      case Stmt::Kind::kFor:
+        unwind_loop(live, frame, s.init.get(), s.expr.get(), s.step.get(),
+                    s.body, true, s.line);
+        return;
+      case Stmt::Kind::kSwitch:
+        exec_switch(s, live, frame);
+        return;
+      case Stmt::Kind::kReturn: {
+        if (s.expr != nullptr) {
+          const BitVec value = eval(*s.expr, live, frame);
+          *frame.return_value = bv_.ite(live, value, *frame.return_value);
+        }
+        *frame.returned = circuit_.or_(*frame.returned, live);
+        return;
+      }
+      case Stmt::Kind::kBreak:
+        loop->broke = circuit_.or_(loop->broke, live);
+        return;
+      case Stmt::Kind::kContinue:
+        loop->continued = circuit_.or_(loop->continued, live);
+        return;
+      case Stmt::Kind::kAssert: {
+        const Lit ok = bv_.to_bool(eval(*s.expr, live, frame));
+        property_assertions_.push_back(CheckedAssertion{
+            circuit_.and_(live, -ok), s.line, "assertion"});
+        return;
+      }
+      case Stmt::Kind::kAssume: {
+        // Constrain the search space: paths reaching here with the condition
+        // false are excluded (live -> cond).
+        const Lit ok = bv_.to_bool(eval(*s.expr, live, frame));
+        circuit_.require(circuit_.or_(-live, ok));
+        return;
+      }
+    }
+  }
+
+  void unwind_loop(Lit live, FrameCtx& frame, const Stmt* init,
+                   const Expr* cond, const Stmt* step,
+                   const std::vector<std::unique_ptr<Stmt>>& body,
+                   bool check_before, int line) {
+    // A dedicated loop context: break leaves the loop for good; continue
+    // only skips the rest of one iteration.
+    LoopCtx ctx{circuit_.false_lit(), circuit_.false_lit()};
+    if (init != nullptr) exec_stmt(*init, live, frame, nullptr);
+
+    Lit iter_live = live;
+    for (std::uint32_t i = 0; i < options_.unwind; ++i) {
+      budget_check();
+      iter_live = circuit_.and_(iter_live, -*frame.returned);
+      iter_live = circuit_.and_(iter_live, -ctx.broke);
+      if (check_before || i > 0) {
+        if (cond != nullptr) {
+          const Lit c = bv_.to_bool(eval(*cond, iter_live, frame));
+          iter_live = circuit_.and_(iter_live, c);
+        }
+      }
+      if (circuit_.is_const(iter_live) && !circuit_.const_value(iter_live)) {
+        return;  // loop provably exited: fully unwound
+      }
+      ctx.continued = circuit_.false_lit();
+      exec_body(body, iter_live, frame, &ctx);
+      // `continue` jumps to the step; `break`/`return` skip it.
+      if (step != nullptr) {
+        const Lit step_live = circuit_.and_(
+            circuit_.and_(iter_live, -ctx.broke), -*frame.returned);
+        exec_stmt(*step, step_live, frame, nullptr);
+      }
+    }
+    // Unwinding assertion: no path may still be able to iterate.
+    Lit more = circuit_.and_(iter_live, -*frame.returned);
+    more = circuit_.and_(more, -ctx.broke);
+    if (cond != nullptr) {
+      more = circuit_.and_(more, bv_.to_bool(eval(*cond, more, frame)));
+    }
+    if (!(circuit_.is_const(more) && !circuit_.const_value(more))) {
+      unwinding_assertions_.push_back(
+          CheckedAssertion{more, line, "unwinding"});
+    }
+  }
+
+  void exec_switch(const Stmt& s, Lit live, FrameCtx& frame) {
+    const BitVec selector = eval(*s.expr, live, frame);
+    LoopCtx ctx{circuit_.false_lit(), circuit_.false_lit()};  // break target
+    // Which case matches: exact equality; default fires when nothing else.
+    Lit any_match = circuit_.false_lit();
+    std::vector<Lit> matches(s.cases.size());
+    for (std::size_t i = 0; i < s.cases.size(); ++i) {
+      if (s.cases[i].is_default) continue;
+      matches[i] = bv_.eq(
+          selector, bv_.constant(static_cast<std::uint32_t>(s.cases[i].value)));
+      any_match = circuit_.or_(any_match, matches[i]);
+    }
+    for (std::size_t i = 0; i < s.cases.size(); ++i) {
+      if (s.cases[i].is_default) matches[i] = -any_match;
+    }
+    // Fallthrough: once entered, execution continues across case bodies
+    // until a break.
+    Lit entered = circuit_.false_lit();
+    for (std::size_t i = 0; i < s.cases.size(); ++i) {
+      entered = circuit_.or_(entered, matches[i]);
+      const Lit case_live = circuit_.and_(
+          circuit_.and_(circuit_.and_(live, entered), -ctx.broke),
+          -*frame.returned);
+      exec_body(s.cases[i].body, case_live, frame, &ctx);
+    }
+  }
+
+  // --- expressions -------------------------------------------------------------
+
+  BitVec eval(const Expr& e, Lit guard, FrameCtx& frame) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLit:
+      case Expr::Kind::kBoolLit:
+        return bv_.constant(static_cast<std::uint32_t>(e.value));
+      case Expr::Kind::kVarRef:
+        switch (e.ref) {
+          case RefKind::kLocal:
+            return frame.slots[static_cast<std::size_t>(e.slot)];
+          case RefKind::kGlobal:
+            return scalars_.at(e.address);
+          case RefKind::kConst:
+            return bv_.constant(static_cast<std::uint32_t>(e.value));
+          case RefKind::kUnresolved:
+            break;
+        }
+        throw std::logic_error("bmc: unresolved variable");
+      case Expr::Kind::kIndex: {
+        const BitVec index = eval(*e.children[0], guard, frame);
+        const auto& cells = arrays_.at(e.address);
+        std::uint32_t k = 0;
+        if (bv_.try_constant(index, k)) {
+          return k < cells.size() ? cells[k] : bv_.constant(0);
+        }
+        // Symbolic index: chain of muxes over the array.
+        BitVec out = bv_.constant(0);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          const Lit hit = bv_.eq(
+              index, bv_.constant(static_cast<std::uint32_t>(i)));
+          out = bv_.ite(hit, cells[i], out);
+        }
+        return out;
+      }
+      case Expr::Kind::kCall:
+        return exec_call(e, guard, frame);
+      case Expr::Kind::kUnary: {
+        const BitVec v = eval(*e.children[0], guard, frame);
+        switch (e.unary_op) {
+          case UnaryOp::kNot: return bv_.from_bool(bv_.is_zero(v));
+          case UnaryOp::kNeg: return bv_.neg(v);
+          case UnaryOp::kBitNot: return bv_.not_(v);
+        }
+        return v;
+      }
+      case Expr::Kind::kBinary:
+        return eval_binary(e, guard, frame);
+      case Expr::Kind::kTernary: {
+        const Lit c = bv_.to_bool(eval(*e.children[0], guard, frame));
+        const BitVec t = eval(*e.children[1], circuit_.and_(guard, c), frame);
+        const BitVec f = eval(*e.children[2], circuit_.and_(guard, -c), frame);
+        return bv_.ite(c, t, f);
+      }
+      case Expr::Kind::kMemRead:
+        // Hardware registers are outside the program: havoc (fresh value),
+        // matching CBMC's treatment of unmodeled volatile reads.
+        eval(*e.children[0], guard, frame);  // address side effects (calls)
+        return bv_.fresh();
+      case Expr::Kind::kInput:
+        return read_input(e);
+    }
+    throw std::logic_error("bmc: unknown expression");
+  }
+
+  BitVec eval_binary(const Expr& e, Lit guard, FrameCtx& frame) {
+    const BinaryOp op = e.binary_op;
+    if (op == BinaryOp::kLogicalAnd) {
+      const Lit a = bv_.to_bool(eval(*e.children[0], guard, frame));
+      const Lit b = bv_.to_bool(
+          eval(*e.children[1], circuit_.and_(guard, a), frame));
+      return bv_.from_bool(circuit_.and_(a, b));
+    }
+    if (op == BinaryOp::kLogicalOr) {
+      const Lit a = bv_.to_bool(eval(*e.children[0], guard, frame));
+      const Lit b = bv_.to_bool(
+          eval(*e.children[1], circuit_.and_(guard, -a), frame));
+      return bv_.from_bool(circuit_.or_(a, b));
+    }
+    const BitVec a = eval(*e.children[0], guard, frame);
+    const BitVec b = eval(*e.children[1], guard, frame);
+    switch (op) {
+      case BinaryOp::kMul: return bv_.mul(a, b);
+      case BinaryOp::kDiv:
+      case BinaryOp::kMod: {
+        // Automatic division-by-zero check (as CBMC adds).
+        property_assertions_.push_back(CheckedAssertion{
+            circuit_.and_(guard, bv_.is_zero(b)), e.line, "division by zero"});
+        return op == BinaryOp::kDiv ? bv_.sdiv(a, b) : bv_.srem(a, b);
+      }
+      case BinaryOp::kAdd: return bv_.add(a, b);
+      case BinaryOp::kSub: return bv_.sub(a, b);
+      case BinaryOp::kShl: return bv_.shl(a, b);
+      case BinaryOp::kShr: return bv_.lshr(a, b);
+      case BinaryOp::kLt: return bv_.from_bool(bv_.slt(a, b));
+      case BinaryOp::kLe: return bv_.from_bool(bv_.sle(a, b));
+      case BinaryOp::kGt: return bv_.from_bool(bv_.slt(b, a));
+      case BinaryOp::kGe: return bv_.from_bool(bv_.sle(b, a));
+      case BinaryOp::kEq: return bv_.from_bool(bv_.eq(a, b));
+      case BinaryOp::kNe: return bv_.from_bool(-bv_.eq(a, b));
+      case BinaryOp::kBitAnd: return bv_.and_(a, b);
+      case BinaryOp::kBitXor: return bv_.xor_(a, b);
+      case BinaryOp::kBitOr: return bv_.or_(a, b);
+      case BinaryOp::kLogicalAnd:
+      case BinaryOp::kLogicalOr:
+        break;
+    }
+    throw std::logic_error("bmc: unknown binary operator");
+  }
+
+  BitVec exec_call(const Expr& e, Lit guard, FrameCtx& frame) {
+    if (frame.depth >= options_.max_inline_depth) {
+      throw InlineDepthExceeded("inlining depth " +
+                                std::to_string(options_.max_inline_depth) +
+                                " exceeded at line " + std::to_string(e.line));
+    }
+    const Function& callee = *e.callee;
+    FrameCtx inner;
+    inner.slots.assign(static_cast<std::size_t>(callee.max_slots),
+                       bv_.constant(0));
+    for (std::size_t i = 0; i < e.children.size(); ++i) {
+      inner.slots[i] = eval(*e.children[i], guard, frame);
+    }
+    Lit returned = circuit_.false_lit();
+    BitVec ret_value = bv_.constant(0);
+    inner.returned = &returned;
+    inner.return_value = &ret_value;
+    inner.depth = frame.depth + 1;
+    exec_body(callee.body, guard, inner);
+    return ret_value;
+  }
+
+  void store(const Expr& target, const BitVec& value, Lit live,
+             FrameCtx& frame) {
+    switch (target.kind) {
+      case Expr::Kind::kVarRef:
+        if (target.ref == RefKind::kLocal) {
+          auto& slot = frame.slots[static_cast<std::size_t>(target.slot)];
+          slot = bv_.ite(live, value, slot);
+          return;
+        }
+        if (target.ref == RefKind::kGlobal) {
+          auto& cell = scalars_.at(target.address);
+          cell = bv_.ite(live, value, cell);
+          return;
+        }
+        break;
+      case Expr::Kind::kIndex: {
+        const BitVec index = eval(*target.children[0], live, frame);
+        auto& cells = arrays_.at(target.address);
+        std::uint32_t k = 0;
+        if (bv_.try_constant(index, k)) {
+          if (k < cells.size()) cells[k] = bv_.ite(live, value, cells[k]);
+          return;
+        }
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          const Lit hit = circuit_.and_(
+              live,
+              bv_.eq(index, bv_.constant(static_cast<std::uint32_t>(i))));
+          cells[i] = bv_.ite(hit, value, cells[i]);
+        }
+        return;
+      }
+      case Expr::Kind::kMemRead:
+        // Store to a hardware register: no effect on program state.
+        eval(*target.children[0], live, frame);
+        return;
+      default:
+        break;
+    }
+    throw std::logic_error("bmc: invalid store target");
+  }
+
+  BitVec read_input(const Expr& e) {
+    auto pinned = options_.input_ranges.find(e.name);
+    if (pinned != options_.input_ranges.end() &&
+        pinned->second.first == pinned->second.second) {
+      // Pinned input: a build-time constant, so everything it decides
+      // (e.g. which dispatch branch runs) folds away instead of bloating
+      // the formula.
+      const BitVec v = bv_.constant(
+          static_cast<std::uint32_t>(pinned->second.first));
+      input_symbols_.emplace_back(e.name, v);
+      return v;
+    }
+    BitVec v = bv_.fresh();
+    input_symbols_.emplace_back(e.name, v);
+    auto it = options_.input_ranges.find(e.name);
+    if (it != options_.input_ranges.end()) {
+      const auto [lo, hi] = it->second;
+      const BitVec lo_v = bv_.constant(static_cast<std::uint32_t>(lo));
+      const BitVec hi_v = bv_.constant(static_cast<std::uint32_t>(hi));
+      if (lo >= 0) {
+        circuit_.require(bv_.ule(lo_v, v));
+        circuit_.require(bv_.ule(v, hi_v));
+      } else {
+        circuit_.require(bv_.sle(lo_v, v));
+        circuit_.require(bv_.sle(v, hi_v));
+      }
+    }
+    return v;
+  }
+
+  const Program& program_;
+  const BmcOptions& options_;
+  CircuitBuilder circuit_;
+  BvBuilder bv_;
+  std::unordered_map<std::uint32_t, BitVec> scalars_;
+  std::unordered_map<std::uint32_t, std::vector<BitVec>> arrays_;
+  std::vector<CheckedAssertion> property_assertions_;
+  std::vector<CheckedAssertion> unwinding_assertions_;
+  std::vector<std::pair<std::string, BitVec>> input_symbols_;
+};
+
+}  // namespace
+
+const char* to_string(BmcResult::Status status) {
+  switch (status) {
+    case BmcResult::Status::kSafe: return "safe";
+    case BmcResult::Status::kBoundedSafe: return "bounded-safe";
+    case BmcResult::Status::kCounterexample: return "counterexample";
+    case BmcResult::Status::kBudgetExceeded: return "unwind-budget-exceeded";
+    case BmcResult::Status::kSolverTimeout: return "solver-timeout";
+  }
+  return "?";
+}
+
+BmcResult check(const Program& program, const BmcOptions& options) {
+  BmcResult result;
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  sat::Solver solver;
+  Unwinder unwinder(program, options, solver);
+  try {
+    unwinder.run();
+  } catch (const GateBudgetExceeded& e) {
+    result.status = BmcResult::Status::kBudgetExceeded;
+    result.detail = e.what();
+    result.seconds = elapsed();
+    result.gates = unwinder.circuit().gate_count();
+    return result;
+  } catch (const InlineDepthExceeded& e) {
+    result.status = BmcResult::Status::kBudgetExceeded;
+    result.detail = e.what();
+    result.seconds = elapsed();
+    result.gates = unwinder.circuit().gate_count();
+    return result;
+  }
+
+  result.gates = unwinder.circuit().gate_count();
+  result.property_assertions = unwinder.properties().size();
+  result.unwinding_assertions = unwinder.unwinding().size();
+
+  // One failure selector per assertion so counterexamples can be attributed.
+  std::vector<Lit> failures;
+  for (const CheckedAssertion& a : unwinder.properties()) {
+    failures.push_back(a.failure);
+  }
+  const Lit any_failure = unwinder.circuit().or_many(failures);
+  if (unwinder.circuit().is_const(any_failure) &&
+      !unwinder.circuit().const_value(any_failure)) {
+    result.status = result.unwinding_assertions == 0
+                        ? BmcResult::Status::kSafe
+                        : BmcResult::Status::kBoundedSafe;
+    result.seconds = elapsed();
+    result.solver_vars = solver.num_vars();
+    return result;
+  }
+  solver.add_unit(any_failure);
+
+  sat::Limits limits;
+  limits.max_conflicts = options.max_conflicts;
+  limits.max_seconds = options.max_seconds;
+  const sat::Result sat_result = solver.solve(limits);
+  result.seconds = elapsed();
+  result.solver_vars = solver.num_vars();
+  result.solver_conflicts = solver.stats().conflicts;
+
+  switch (sat_result) {
+    case sat::Result::kSat: {
+      result.status = BmcResult::Status::kCounterexample;
+      for (const CheckedAssertion& a : unwinder.properties()) {
+        const Lit f = a.failure;
+        const bool failed = unwinder.circuit().is_const(f)
+                                ? unwinder.circuit().const_value(f)
+                                : solver.lit_value(f);
+        if (failed) {
+          result.failing_line = a.line;
+          result.detail = a.what + " at line " + std::to_string(a.line);
+          break;
+        }
+      }
+      for (const auto& [name, symbol] : unwinder.inputs()) {
+        result.inputs.emplace_back(name, unwinder.bv().model_value(symbol));
+      }
+      break;
+    }
+    case sat::Result::kUnsat:
+      result.status = result.unwinding_assertions == 0
+                          ? BmcResult::Status::kSafe
+                          : BmcResult::Status::kBoundedSafe;
+      break;
+    case sat::Result::kUnknown:
+      result.status = BmcResult::Status::kSolverTimeout;
+      result.detail = "SAT budget exhausted";
+      break;
+  }
+  return result;
+}
+
+}  // namespace esv::formal::bmc

@@ -1,0 +1,77 @@
+// Bounded model checker for mini-C (the CBMC-role baseline of Fig. 7).
+//
+// Pipeline: the program is symbolically executed with guarded updates —
+// functions inlined (bounded depth), loops unwound to a bound (the paper's
+// experiments use 20) — into a bit-level formula over the CDCL solver.
+// Checked properties are the program's assert() statements plus automatic
+// division-by-zero checks. Loops that are not fully unwound produce
+// *unwinding assertions*: if any remain, an UNSAT result only means
+// "bounded-safe" ("due to the boundedness CBMC can be used for finding
+// errors and not for proving correctness").
+//
+// All nondeterministic inputs (__in) must be constrained with ranges, as the
+// paper stresses; unconstrained inputs get the full 32-bit range.
+//
+// Resource budgets (formula gates, solver conflicts/time) turn the EEPROM
+// case study's unbounded main loop into the ">5 h unwinding" failure mode of
+// the paper's Fig. 7 instead of a hang.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace esv::formal::bmc {
+
+struct BmcOptions {
+  /// Loop unwinding bound (paper: 20).
+  std::uint32_t unwind = 20;
+  /// Maximum function-inlining depth (recursion bound).
+  std::uint32_t max_inline_depth = 64;
+  /// Formula-size budget: abort unwinding beyond this many gates.
+  std::uint64_t max_gates = 20'000'000;
+  /// SAT budget.
+  std::uint64_t max_conflicts = 2'000'000;
+  double max_seconds = 60.0;
+  /// Ranges for __in() inputs (inclusive); unlisted inputs are unconstrained.
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> input_ranges;
+  /// Concrete initial values for scalar globals (byte address -> value),
+  /// overriding the program's initializers. Used by the hybrid engine to
+  /// start the unwinding from a live simulation state.
+  std::map<std::uint32_t, std::uint32_t> initial_globals;
+};
+
+struct BmcResult {
+  enum class Status {
+    kSafe,            // all assertions proven, every loop fully unwound
+    kBoundedSafe,     // no violation within the bound; unwinding incomplete
+    kCounterexample,  // an assertion (or div-by-zero) can fail
+    kBudgetExceeded,  // unwinding blew the gate budget (the ">5h" row)
+    kSolverTimeout,   // SAT budget exhausted
+  };
+
+  Status status = Status::kBoundedSafe;
+  double seconds = 0.0;
+  std::string detail;
+  int failing_line = 0;  // counterexample: line of the failing assertion
+
+  // Statistics.
+  std::uint64_t gates = 0;
+  int solver_vars = 0;
+  std::uint64_t solver_conflicts = 0;
+  std::size_t property_assertions = 0;
+  std::size_t unwinding_assertions = 0;
+  /// Counterexample input values, in first-read order.
+  std::vector<std::pair<std::string, std::uint32_t>> inputs;
+};
+
+const char* to_string(BmcResult::Status status);
+
+/// Checks all assertions in `program` (which must be resolved by sema).
+BmcResult check(const minic::Program& program, const BmcOptions& options = {});
+
+}  // namespace esv::formal::bmc

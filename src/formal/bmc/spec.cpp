@@ -1,0 +1,77 @@
+#include "formal/bmc/spec.hpp"
+
+#include <stdexcept>
+
+namespace esv::formal {
+
+std::string instrument_response(const std::string& source, int op_code,
+                                const std::string& ret_global,
+                                const std::vector<std::uint32_t>& codes) {
+  if (codes.empty()) {
+    throw std::invalid_argument("instrument_response: empty code set");
+  }
+  const std::string marker = "test_cases = test_cases + 1;";
+  const std::size_t at = source.find(marker);
+  if (at == std::string::npos) {
+    throw std::invalid_argument(
+        "instrument_response: application-loop marker not found");
+  }
+  std::string condition;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (i != 0) condition += " || ";
+    condition += ret_global + " == " + std::to_string(codes[i]);
+  }
+  const std::string monitor =
+      "/* Spec-tool generated response monitor */\n"
+      "    if (current_op == " + std::to_string(op_code) + ") {\n"
+      "      assert(" + condition + ");\n"
+      "    }\n"
+      "    ";
+  std::string out = source;
+  out.insert(at, monitor);
+  return out;
+}
+
+std::string instrument_reachability(const std::string& source, int op_code,
+                                    const std::string& ret_global,
+                                    std::uint32_t code) {
+  const std::string marker = "test_cases = test_cases + 1;";
+  const std::size_t at = source.find(marker);
+  if (at == std::string::npos) {
+    throw std::invalid_argument(
+        "instrument_reachability: application-loop marker not found");
+  }
+  const std::string monitor =
+      "/* Spec-tool generated reachability query */\n"
+      "    if (current_op == " + std::to_string(op_code) + ") {\n"
+      "      assert(" + ret_global + " != " + std::to_string(code) + ");\n"
+      "    }\n"
+      "    ";
+  std::string out = source;
+  out.insert(at, monitor);
+  return out;
+}
+
+std::string single_iteration(const std::string& source) {
+  const std::string main_marker = "void main(void) {";
+  const std::string loop = "while (1) {";
+  const std::size_t main_at = source.find(main_marker);
+  if (main_at == std::string::npos) {
+    throw std::invalid_argument("single_iteration: main() not found");
+  }
+  const std::size_t loop_at = source.find(loop, main_at);
+  if (loop_at == std::string::npos) {
+    throw std::invalid_argument(
+        "single_iteration: application loop not found");
+  }
+  // Drop main's initialization preamble (the query starts from a concrete
+  // state snapshot, which re-running the initializers would destroy) and
+  // reduce the infinite loop to one iteration.
+  std::string out = source;
+  const std::size_t preamble_begin = main_at + main_marker.size();
+  out.replace(preamble_begin, loop_at + loop.size() - preamble_begin,
+              "\n      if (1) {");
+  return out;
+}
+
+}  // namespace esv::formal

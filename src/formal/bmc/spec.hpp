@@ -1,0 +1,42 @@
+// Property instrumentation — the role the Spec tool / SpC language plays in
+// the paper's CBMC and BLAST experiments.
+//
+// "CBMC does not support any mechanism to specify temporal properties.
+// Therefore, we required the use of the Spec tool in order to describe the
+// properties and then a newly generated C file (consisting of the property
+// described in it) is fed into CBMC."
+//
+// The generated monitor checks the operation-response property at the C
+// level: after the application layer dispatches operation `op_code`, the
+// operation's return register must hold one of the documented return codes.
+// The instrumented program is then checked by the BMC or the predicate-
+// abstraction engine like any other assertion-carrying program.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esv::formal {
+
+/// Rewrites `source` (which must contain the application-loop marker
+/// statement "test_cases = test_cases + 1;") so that the response property
+/// for the operation dispatched as `op_code` is asserted on every loop
+/// iteration. Throws std::invalid_argument if the marker is missing.
+std::string instrument_response(const std::string& source, int op_code,
+                                const std::string& ret_global,
+                                const std::vector<std::uint32_t>& codes);
+
+/// Reachability query: asserts that operation `op_code` never returns
+/// `code`, so a BMC counterexample is exactly an input sequence that reaches
+/// the code. Used by the hybrid (simulation + formal) coverage engine.
+std::string instrument_reachability(const std::string& source, int op_code,
+                                    const std::string& ret_global,
+                                    std::uint32_t code);
+
+/// Turns the software's infinite application loop ("while (1) {") into a
+/// single iteration so the BMC can be pointed at one step from a concrete
+/// state snapshot. Throws std::invalid_argument if the loop is missing.
+std::string single_iteration(const std::string& source);
+
+}  // namespace esv::formal

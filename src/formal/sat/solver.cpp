@@ -1,0 +1,305 @@
+#include "formal/sat/solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace esv::formal::sat {
+
+Solver::Solver() {
+  // Variable 0 is unused so literals map cleanly.
+  assigns_.push_back(LBool::kUndef);
+  phase_.push_back(false);
+  reason_.push_back(kNoReason);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  seen_.push_back(false);
+  watches_.resize(2);
+}
+
+int Solver::new_var() {
+  assigns_.push_back(LBool::kUndef);
+  phase_.push_back(false);
+  reason_.push_back(kNoReason);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  seen_.push_back(false);
+  watches_.resize(watches_.size() + 2);
+  return num_vars();
+}
+
+Solver::LBool Solver::lit_state(Lit l) const {
+  const LBool v = assigns_[static_cast<std::size_t>(l > 0 ? l : -l)];
+  if (v == LBool::kUndef) return LBool::kUndef;
+  const bool truth = (v == LBool::kTrue) == (l > 0);
+  return truth ? LBool::kTrue : LBool::kFalse;
+}
+
+bool Solver::value(int var) const {
+  return assigns_[static_cast<std::size_t>(var)] == LBool::kTrue;
+}
+
+void Solver::add_clause(std::vector<Lit> lits) {
+  if (unsat_) return;
+  // Normalize: drop duplicates, detect tautology.
+  std::sort(lits.begin(), lits.end(), [](Lit a, Lit b) {
+    const int va = a > 0 ? a : -a;
+    const int vb = b > 0 ? b : -b;
+    return va != vb ? va < vb : a < b;
+  });
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i] == -lits[i + 1]) return;  // tautology
+  }
+  // Remove literals already false at level 0; satisfied clause is dropped.
+  std::vector<Lit> filtered;
+  for (Lit l : lits) {
+    const LBool s = lit_state(l);
+    if (s == LBool::kTrue && level_[static_cast<std::size_t>(std::abs(l))] == 0) {
+      return;
+    }
+    if (s == LBool::kFalse && level_[static_cast<std::size_t>(std::abs(l))] == 0) {
+      continue;
+    }
+    filtered.push_back(l);
+  }
+  if (filtered.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (filtered.size() == 1) {
+    if (lit_state(filtered[0]) == LBool::kUndef) {
+      enqueue(filtered[0], kNoReason);
+      if (propagate() != kNoConflict) unsat_ = true;
+    }
+    return;
+  }
+  clauses_.push_back(Clause{std::move(filtered), false});
+  attach_clause(static_cast<std::uint32_t>(clauses_.size() - 1));
+}
+
+void Solver::attach_clause(std::uint32_t index) {
+  const Clause& c = clauses_[index];
+  watches_[watch_index(-c.lits[0])].push_back(Watcher{index, c.lits[1]});
+  watches_[watch_index(-c.lits[1])].push_back(Watcher{index, c.lits[0]});
+}
+
+void Solver::enqueue(Lit l, std::int32_t reason) {
+  const auto var = static_cast<std::size_t>(l > 0 ? l : -l);
+  assigns_[var] = l > 0 ? LBool::kTrue : LBool::kFalse;
+  phase_[var] = l > 0;
+  reason_[var] = reason;
+  level_[var] = static_cast<std::int32_t>(trail_limits_.size());
+  trail_.push_back(l);
+}
+
+std::uint32_t Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    auto& watchers = watches_[watch_index(p)];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watchers.size(); ++i) {
+      const Watcher w = watchers[i];
+      if (lit_state(w.blocker) == LBool::kTrue) {
+        watchers[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.clause];
+      // Ensure the false literal -p is at position 1.
+      if (c.lits[0] == -p) std::swap(c.lits[0], c.lits[1]);
+      if (lit_state(c.lits[0]) == LBool::kTrue) {
+        watchers[keep++] = Watcher{w.clause, c.lits[0]};
+        continue;
+      }
+      // Find a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (lit_state(c.lits[k]) != LBool::kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[watch_index(-c.lits[1])].push_back(
+              Watcher{w.clause, c.lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      watchers[keep++] = w;
+      if (lit_state(c.lits[0]) == LBool::kFalse) {
+        // Conflict: keep remaining watchers, return the clause.
+        for (std::size_t k = i + 1; k < watchers.size(); ++k) {
+          watchers[keep++] = watchers[k];
+        }
+        watchers.resize(keep);
+        return w.clause;
+      }
+      enqueue(c.lits[0], static_cast<std::int32_t>(w.clause));
+    }
+    watchers.resize(keep);
+  }
+  return kNoConflict;
+}
+
+void Solver::bump_var(int var) {
+  activity_[static_cast<std::size_t>(var)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(var)] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay_activities() { var_inc_ /= 0.95; }
+
+void Solver::analyze(std::uint32_t conflict, std::vector<Lit>& learned,
+                     int& backtrack_level) {
+  learned.clear();
+  learned.push_back(0);  // placeholder for the asserting literal
+  int counter = 0;
+  Lit p = 0;
+  std::uint32_t reason_clause = conflict;
+  std::size_t trail_index = trail_.size();
+  const int current_level = static_cast<int>(trail_limits_.size());
+
+  do {
+    const Clause& c = clauses_[reason_clause];
+    for (const Lit q : c.lits) {
+      if (q == p) continue;
+      const auto var = static_cast<std::size_t>(q > 0 ? q : -q);
+      if (!seen_[var] && level_[var] > 0) {
+        seen_[var] = true;
+        bump_var(static_cast<int>(var));
+        if (level_[var] >= current_level) {
+          ++counter;
+        } else {
+          learned.push_back(q);
+        }
+      }
+    }
+    // Pick the next seen literal from the trail.
+    while (true) {
+      p = trail_[--trail_index];
+      const auto var = static_cast<std::size_t>(p > 0 ? p : -p);
+      if (seen_[var]) break;
+    }
+    const auto pvar = static_cast<std::size_t>(p > 0 ? p : -p);
+    seen_[pvar] = false;
+    --counter;
+    if (counter > 0) {
+      reason_clause = static_cast<std::uint32_t>(reason_[pvar]);
+    }
+  } while (counter > 0);
+  learned[0] = -p;
+
+  // Compute the backtrack level (second-highest level in the clause).
+  backtrack_level = 0;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    const auto var =
+        static_cast<std::size_t>(learned[i] > 0 ? learned[i] : -learned[i]);
+    backtrack_level = std::max(backtrack_level, level_[var]);
+  }
+  for (const Lit l : learned) {
+    seen_[static_cast<std::size_t>(l > 0 ? l : -l)] = false;
+  }
+}
+
+void Solver::backtrack(int target_level) {
+  while (static_cast<int>(trail_limits_.size()) > target_level) {
+    const std::size_t limit = trail_limits_.back();
+    trail_limits_.pop_back();
+    while (trail_.size() > limit) {
+      const Lit l = trail_.back();
+      trail_.pop_back();
+      assigns_[static_cast<std::size_t>(l > 0 ? l : -l)] = LBool::kUndef;
+    }
+  }
+  propagate_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  int best = 0;
+  double best_activity = -1.0;
+  for (int v = 1; v <= num_vars(); ++v) {
+    if (assigns_[static_cast<std::size_t>(v)] == LBool::kUndef &&
+        activity_[static_cast<std::size_t>(v)] > best_activity) {
+      best = v;
+      best_activity = activity_[static_cast<std::size_t>(v)];
+    }
+  }
+  if (best == 0) return 0;
+  return phase_[static_cast<std::size_t>(best)] ? best : -best;
+}
+
+std::uint64_t Solver::luby(std::uint64_t i) {
+  // Finite-subsequence Luby computation; the sequence is 1-indexed.
+  if (i == 0) return 1;
+  std::uint64_t k = 1;
+  while ((1ULL << (k + 1)) - 1 <= i) ++k;
+  while (i != (1ULL << k) - 1) {
+    i -= (1ULL << k) - 1;
+    k = 1;
+    while ((1ULL << (k + 1)) - 1 <= i) ++k;
+  }
+  return 1ULL << (k - 1);
+}
+
+Result Solver::solve(const Limits& limits) {
+  if (unsat_) return Result::kUnsat;
+  const auto start = std::chrono::steady_clock::now();
+  const auto out_of_budget = [&] {
+    if (limits.max_conflicts != 0 && stats_.conflicts >= limits.max_conflicts) {
+      return true;
+    }
+    if (limits.max_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed >= limits.max_seconds) return true;
+    }
+    return false;
+  };
+
+  std::uint64_t restart_unit = 64;
+  std::uint64_t conflicts_until_restart =
+      restart_unit * luby(stats_.restarts + 1);
+  std::vector<Lit> learned;
+
+  for (;;) {
+    const std::uint32_t conflict = propagate();
+    if (conflict != kNoConflict) {
+      ++stats_.conflicts;
+      if (trail_limits_.empty()) return Result::kUnsat;
+      if (out_of_budget()) return Result::kUnknown;
+      int backtrack_level = 0;
+      analyze(conflict, learned, backtrack_level);
+      backtrack(backtrack_level);
+      if (learned.size() == 1) {
+        enqueue(learned[0], kNoReason);
+      } else {
+        clauses_.push_back(Clause{learned, true});
+        ++stats_.learned_clauses;
+        attach_clause(static_cast<std::uint32_t>(clauses_.size() - 1));
+        enqueue(learned[0], static_cast<std::int32_t>(clauses_.size() - 1));
+      }
+      decay_activities();
+      if (conflicts_until_restart > 0) --conflicts_until_restart;
+    } else {
+      if (conflicts_until_restart == 0) {
+        ++stats_.restarts;
+        conflicts_until_restart = restart_unit * luby(stats_.restarts + 1);
+        backtrack(0);
+        continue;
+      }
+      if (out_of_budget()) return Result::kUnknown;
+      const Lit next = pick_branch();
+      if (next == 0) return Result::kSat;
+      ++stats_.decisions;
+      trail_limits_.push_back(trail_.size());
+      enqueue(next, kNoReason);
+    }
+  }
+}
+
+}  // namespace esv::formal::sat

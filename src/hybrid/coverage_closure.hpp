@@ -1,0 +1,86 @@
+// Hybrid simulation + formal verification — the paper's stated future work:
+// "In future, we would like to combine the simulation-based verification and
+// formal verification approach in order to improve the coverage."
+//
+// The engine closes return-code coverage holes that constrained-random
+// simulation cannot (or is very unlikely to) hit:
+//
+//   1. RANDOM PHASE   — simulate the derived ESW model with constrained-
+//                       random stimulus until the coverage of the target
+//                       operation stops improving.
+//   2. FORMAL PHASE   — for each still-unobserved return code, snapshot the
+//                       *live* simulation state (all scalar globals) and ask
+//                       the bounded model checker for inputs that reach the
+//                       code within one application-loop iteration starting
+//                       from exactly that state (the Spec tool generates the
+//                       reachability query; unreachable codes come back as
+//                       "safe", which is itself a useful certificate).
+//   3. DIRECTED PHASE — replay the counterexample's input vector in the
+//                       running simulation (ScriptedOverrideProvider) and
+//                       observe the code. The SCTC monitors keep checking
+//                       throughout, so directed tests are verified too.
+//   4. Repeat until coverage is complete, every hole is proven unreachable
+//      from the current state, or the round budget runs out.
+//
+// The formal model treats unmodeled hardware reads as nondeterministic, so a
+// directed test can occasionally miss its target (the real flash returns
+// something the havoc model didn't predict); the loop simply tries again
+// from the new state in the next round.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "casestudy/eeprom.hpp"
+#include "formal/bmc/bmc.hpp"
+
+namespace esv::hybrid {
+
+struct ClosureConfig {
+  /// Random-phase budget per round (test cases).
+  std::uint64_t random_test_cases = 200;
+  /// Maximum random+formal rounds.
+  std::size_t max_rounds = 6;
+  /// Per-query BMC budget.
+  formal::bmc::BmcOptions bmc;
+  std::uint64_t seed = 1;
+  /// Random-phase constraint: fault-injection rate (permille). 0 makes
+  /// EEE_ERR_INTERNAL unreachable by random stimulus — the formal phase
+  /// must find it.
+  std::uint32_t fault_permille = 0;
+  /// Random-phase constraint: highest record id drawn randomly. 7 keeps all
+  /// random ids valid, so EEE_ERR_PARAMETER needs the formal phase too.
+  std::uint32_t max_random_rec_id = 7;
+  /// Statement budget per simulated test case (safety).
+  std::uint64_t max_steps_per_case = 100000;
+};
+
+struct DirectedTest {
+  std::uint32_t target_code = 0;
+  std::vector<std::pair<std::string, std::uint32_t>> inputs;
+  bool hit = false;  // did the replay actually observe the code?
+};
+
+struct ClosureResult {
+  std::string operation;
+  double random_coverage_percent = 0;   // after the random phases alone
+  double final_coverage_percent = 0;    // after directed tests
+  std::size_t rounds = 0;
+  std::uint64_t random_test_cases = 0;
+  std::vector<DirectedTest> directed_tests;
+  /// Codes the BMC *proved* unreachable from every queried state.
+  std::vector<std::uint32_t> proven_unreachable;
+  /// Codes still open when the budget ran out.
+  std::vector<std::uint32_t> unresolved;
+  double seconds = 0;
+
+  bool closed() const { return unresolved.empty(); }
+};
+
+/// Runs coverage closure for one EEELib operation.
+ClosureResult close_coverage(const casestudy::OperationSpec& op,
+                             const ClosureConfig& config = {});
+
+}  // namespace esv::hybrid

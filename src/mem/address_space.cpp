@@ -1,0 +1,81 @@
+#include "mem/address_space.hpp"
+
+namespace esv::mem {
+
+std::string MemoryFault::to_hex(std::uint32_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    out += kDigits[(v >> shift) & 0xF];
+  }
+  return out;
+}
+
+AddressSpace::AddressSpace(std::uint32_t ram_bytes) {
+  if (ram_bytes % 4 != 0) {
+    throw std::invalid_argument("AddressSpace: RAM size must be word-aligned");
+  }
+  ram_.assign(ram_bytes / 4, 0);
+}
+
+void AddressSpace::map_device(std::uint32_t base, std::uint32_t bytes,
+                              MmioDevice& device) {
+  if (base % 4 != 0 || bytes % 4 != 0 || bytes == 0) {
+    throw std::invalid_argument("map_device: range must be word-aligned");
+  }
+  if (base < ram_bytes()) {
+    throw std::invalid_argument("map_device: range overlaps RAM");
+  }
+  for (const Mapping& m : mappings_) {
+    const bool disjoint = base + bytes <= m.base || m.base + m.bytes <= base;
+    if (!disjoint) {
+      throw std::invalid_argument("map_device: range overlaps another device");
+    }
+  }
+  mappings_.push_back(Mapping{base, bytes, &device});
+}
+
+const AddressSpace::Mapping* AddressSpace::find_mapping(
+    std::uint32_t address) const {
+  for (const Mapping& m : mappings_) {
+    if (address >= m.base && address < m.base + m.bytes) return &m;
+  }
+  return nullptr;
+}
+
+void AddressSpace::check_aligned(std::uint32_t address) {
+  if (address % 4 != 0) throw MemoryFault("misaligned word access", address);
+}
+
+std::uint32_t AddressSpace::read_word(std::uint32_t address) {
+  check_aligned(address);
+  if (address < ram_bytes()) return ram_[address / 4];
+  if (const Mapping* m = find_mapping(address)) {
+    return m->device->mmio_read(address - m->base);
+  }
+  throw MemoryFault("read from unmapped memory", address);
+}
+
+void AddressSpace::write_word(std::uint32_t address, std::uint32_t value) {
+  check_aligned(address);
+  if (address < ram_bytes()) {
+    ram_[address / 4] = value;
+    return;
+  }
+  if (const Mapping* m = find_mapping(address)) {
+    m->device->mmio_write(address - m->base, value);
+    return;
+  }
+  throw MemoryFault("write to unmapped memory", address);
+}
+
+void AddressSpace::tick_devices() {
+  for (const Mapping& m : mappings_) m.device->tick();
+}
+
+std::uint32_t AddressSpace::sctc_read_uint(std::uint32_t address) const {
+  if (address % 4 != 0 || address >= ram_bytes()) return 0;
+  return ram_[address / 4];
+}
+
+}  // namespace esv::mem

@@ -1,0 +1,28 @@
+// Runtime support interface for the mini-C `__in(name)` intrinsic.
+//
+// `__in(name)` models an external input of the embedded software (sensor
+// values, requests from the application layer, ...). Execution platforms ask
+// an InputProvider for the value; the stimulus module implements constrained-
+// random providers, tests implement scripted ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace esv::minic {
+
+class InputProvider {
+ public:
+  virtual ~InputProvider() = default;
+  /// Returns the next value of the input `name` (dense `input_id` as
+  /// assigned by sema, for fast dispatch).
+  virtual std::uint32_t input(int input_id, const std::string& name) = 0;
+};
+
+/// Provider that returns 0 for every input (the "unconnected" default).
+class ZeroInputProvider final : public InputProvider {
+ public:
+  std::uint32_t input(int, const std::string&) override { return 0; }
+};
+
+}  // namespace esv::minic

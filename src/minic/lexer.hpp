@@ -1,0 +1,57 @@
+// Lexer for mini-C.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esv::minic {
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kNumber,
+  // keywords
+  kInt, kUnsigned, kBool, kVoid, kEnum,
+  kIf, kElse, kWhile, kDo, kFor, kSwitch, kCase, kDefault,
+  kBreak, kContinue, kReturn, kTrue, kFalse, kAssert, kAssume, kInput,
+  // punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma, kColon, kQuestion,
+  kAssign,   // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kNot,
+  kAmpAmp, kPipePipe,
+  kShl, kShr,
+  kLt, kLe, kGt, kGe, kEqEq, kNe,
+  kPlusPlus, kMinusMinus,
+  kPlusAssign, kMinusAssign,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;        // identifier text
+  std::int64_t number = 0; // kNumber
+  int line = 1;
+  int column = 1;
+};
+
+/// Error with source location ("line 12: unexpected character").
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, int line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Tokenizes the whole source. Supports // and /* */ comments, decimal and
+/// hexadecimal (0x...) literals.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace esv::minic

@@ -1,0 +1,28 @@
+// Recursive-descent parser for mini-C: tokens -> unresolved AST (Program).
+// Run sema (sema.hpp) afterwards to resolve names, lay out globals, and
+// type-check; only a resolved Program may be executed or compiled.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "minic/ast.hpp"
+
+namespace esv::minic {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses a full translation unit. Throws LexError/ParseError on bad input.
+Program parse_program(std::string_view source);
+
+}  // namespace esv::minic

@@ -1,0 +1,43 @@
+// Semantic analysis for mini-C.
+//
+// Resolves every identifier (global address / frame slot / enum constant /
+// callee), lays out the data segment, allocates frame slots, assigns dense
+// ids to __in() inputs, and injects the implicit `fname` global used for
+// function-sequence properties (the paper's "fname = FUNCTION_NAME"
+// instrumentation; both backends store the function id into it on entry).
+//
+// Checks performed (each failure throws SemaError with a line number):
+//   - duplicate / undefined globals, locals, functions, parameters
+//   - calls: unknown callee, wrong arity, void function used as a value
+//   - assignment to enum constants or whole arrays
+//   - indexing a scalar / using an array as a scalar
+//   - break/continue outside a loop or switch
+//   - a `main` function must exist and take no parameters
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace esv::minic {
+
+class SemaError : public std::runtime_error {
+ public:
+  SemaError(const std::string& message, int line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Resolves `program` in place. Must be called exactly once, after
+/// parse_program and before any backend consumes the AST.
+void analyze(Program& program);
+
+/// parse + analyze in one call.
+Program compile(std::string_view source);
+
+}  // namespace esv::minic

@@ -1,0 +1,246 @@
+#include "sctc/checker.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace esv::sctc {
+
+namespace {
+
+bool compare(std::uint32_t lhs, Compare op, std::uint32_t rhs) {
+  switch (op) {
+    case Compare::kEq: return lhs == rhs;
+    case Compare::kNe: return lhs != rhs;
+    case Compare::kLt: return lhs < rhs;
+    case Compare::kLe: return lhs <= rhs;
+    case Compare::kGt: return lhs > rhs;
+    case Compare::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool MemoryWordProposition::is_true() {
+  return compare(memory_->sctc_read_uint(address_), op_, value_);
+}
+
+temporal::Verdict PropertyRecord::verdict() const {
+  if (progression) return progression->verdict();
+  if (automaton_monitor) return automaton_monitor->verdict();
+  return temporal::Verdict::kPending;
+}
+
+TemporalChecker::TemporalChecker(sim::Simulation& sim, std::string name,
+                                 MonitorMode mode)
+    : sim::Module(sim, std::move(name)), mode_(mode) {}
+
+TemporalChecker::~TemporalChecker() = default;
+
+void TemporalChecker::register_proposition(
+    const std::string& name, std::unique_ptr<Proposition> proposition) {
+  if (!proposition) {
+    throw std::invalid_argument("register_proposition: null proposition");
+  }
+  temporal::FormulaRef node = factory_.prop(name);
+  const auto index = static_cast<std::size_t>(node->prop_index());
+  if (propositions_by_index_.size() <= index) {
+    propositions_by_index_.resize(index + 1);
+    value_cache_.resize(index + 1, 0);
+  }
+  propositions_by_index_[index] = std::move(proposition);
+}
+
+void TemporalChecker::register_proposition(const std::string& name,
+                                           std::function<bool()> predicate) {
+  register_proposition(name,
+                       std::make_unique<LambdaProposition>(std::move(predicate)));
+}
+
+bool TemporalChecker::has_proposition(const std::string& name) const {
+  for (int i = 0; i < factory_.prop_count(); ++i) {
+    if (factory_.prop_name(i) == name) {
+      const auto idx = static_cast<std::size_t>(i);
+      return idx < propositions_by_index_.size() &&
+             propositions_by_index_[idx] != nullptr;
+    }
+  }
+  return false;
+}
+
+std::size_t TemporalChecker::add_property(const std::string& name,
+                                          const std::string& text,
+                                          temporal::Dialect dialect) {
+  PropertyRecord record;
+  record.name = name;
+  record.text = text;
+  record.dialect = dialect;
+  record.formula = temporal::parse_property(text, dialect, factory_);
+
+  // Every proposition must be backed by a registered evaluator.
+  for (int prop_index : factory_.collect_prop_indices(record.formula)) {
+    const auto idx = static_cast<std::size_t>(prop_index);
+    if (idx >= propositions_by_index_.size() ||
+        propositions_by_index_[idx] == nullptr) {
+      throw std::runtime_error("add_property(" + name +
+                               "): proposition \"" +
+                               factory_.prop_name(prop_index) +
+                               "\" is not registered");
+    }
+  }
+
+  if (mode_ == MonitorMode::kProgression) {
+    record.progression = std::make_unique<temporal::ProgressionMonitor>(
+        factory_, record.formula);
+  } else {
+    record.automaton = std::make_unique<temporal::ArAutomaton>(
+        temporal::synthesize(factory_, record.formula));
+    record.automaton_states = record.automaton->state_count();
+    record.automaton_monitor =
+        std::make_unique<temporal::AutomatonMonitor>(*record.automaton);
+  }
+  properties_.push_back(std::move(record));
+  return properties_.size() - 1;
+}
+
+void TemporalChecker::bind_trigger(sim::Event& trigger) {
+  sim_.create_method(sub_name("trigger"), [this] { step_all(); }, {&trigger},
+                     /*run_at_start=*/false);
+}
+
+void TemporalChecker::evaluate_propositions() {
+  for (std::size_t i = 0; i < propositions_by_index_.size(); ++i) {
+    if (propositions_by_index_[i]) {
+      value_cache_[i] = propositions_by_index_[i]->is_true() ? 1 : 0;
+    }
+  }
+}
+
+temporal::PropValuation TemporalChecker::make_valuation() {
+  return [this](int prop_index) {
+    return value_cache_[static_cast<std::size_t>(prop_index)] != 0;
+  };
+}
+
+void TemporalChecker::set_witness_depth(std::size_t depth) {
+  witness_depth_ = depth;
+  witness_.clear();
+}
+
+void TemporalChecker::record_witness() {
+  if (witness_depth_ == 0) return;
+  WitnessStep step;
+  step.step = steps_;
+  step.time = sim_.now();
+  step.values.reserve(value_cache_.size());
+  for (char v : value_cache_) step.values.push_back(v != 0);
+  witness_.push_back(std::move(step));
+  if (witness_.size() > witness_depth_) {
+    witness_.erase(witness_.begin());
+  }
+}
+
+std::string TemporalChecker::witness_table() const {
+  std::ostringstream out;
+  if (witness_.empty()) {
+    out << "(no witness recorded; call set_witness_depth first)\n";
+    return out.str();
+  }
+  // Header: one row per proposition, one column per recorded step.
+  out << "step:";
+  for (const WitnessStep& w : witness_) out << " " << w.step;
+  out << "\n";
+  for (int i = 0; i < factory_.prop_count(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (idx >= propositions_by_index_.size() ||
+        propositions_by_index_[idx] == nullptr) {
+      continue;
+    }
+    out << "  " << factory_.prop_name(i) << ":";
+    for (const WitnessStep& w : witness_) {
+      out << " " << (idx < w.values.size() && w.values[idx] ? "1" : ".");
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void TemporalChecker::step_all() {
+  ++steps_;
+  evaluate_propositions();
+  record_witness();
+  const auto valuation = make_valuation();
+  bool violated_now = false;
+  for (PropertyRecord& record : properties_) {
+    if (record.verdict() != temporal::Verdict::kPending) continue;
+    temporal::Verdict v;
+    if (record.progression) {
+      v = record.progression->step(valuation);
+    } else {
+      v = record.automaton_monitor->step(valuation);
+    }
+    if (v != temporal::Verdict::kPending) {
+      record.decided_at_step = steps_;
+      record.decided_at_time = sim_.now();
+      if (v == temporal::Verdict::kViolated) violated_now = true;
+    }
+  }
+  if (violated_now && stop_on_violation_) sim_.stop();
+}
+
+void TemporalChecker::reset_monitors() {
+  steps_ = 0;
+  for (PropertyRecord& record : properties_) {
+    if (record.progression) record.progression->reset();
+    if (record.automaton_monitor) record.automaton_monitor->reset();
+    record.decided_at_step = 0;
+    record.decided_at_time = sim::Time::zero();
+  }
+}
+
+std::size_t TemporalChecker::pending_count() const {
+  std::size_t n = 0;
+  for (const auto& r : properties_) {
+    if (r.verdict() == temporal::Verdict::kPending) ++n;
+  }
+  return n;
+}
+
+std::size_t TemporalChecker::validated_count() const {
+  std::size_t n = 0;
+  for (const auto& r : properties_) {
+    if (r.verdict() == temporal::Verdict::kValidated) ++n;
+  }
+  return n;
+}
+
+std::size_t TemporalChecker::violated_count() const {
+  std::size_t n = 0;
+  for (const auto& r : properties_) {
+    if (r.verdict() == temporal::Verdict::kViolated) ++n;
+  }
+  return n;
+}
+
+std::string TemporalChecker::report() const {
+  std::ostringstream out;
+  out << "SCTC " << name() << " after " << steps_ << " steps ("
+      << (mode_ == MonitorMode::kProgression ? "progression"
+                                             : "AR-automaton")
+      << " mode)\n";
+  for (const auto& r : properties_) {
+    out << "  [" << temporal::to_string(r.verdict()) << "] " << r.name << ": "
+        << r.text;
+    if (r.verdict() != temporal::Verdict::kPending) {
+      out << "  (decided at step " << r.decided_at_step << ", t="
+          << r.decided_at_time.to_string() << ")";
+    }
+    if (r.automaton_states != 0) {
+      out << "  [" << r.automaton_states << " AR states]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace esv::sctc

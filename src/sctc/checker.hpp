@@ -1,0 +1,142 @@
+// TemporalChecker: the SystemC Temporal Checker (SCTC) core.
+//
+// The checker owns a set of named Propositions and a set of temporal
+// properties (FLTL or PSL). On every trigger — a microprocessor clock edge in
+// the paper's first approach, the derived model's program-counter event in
+// the second — it evaluates all propositions once and advances every pending
+// property monitor by one temporal step.
+//
+// Monitors run in one of two modes, which produce identical verdicts:
+//   kProgression           — lazy formula rewriting, no build cost
+//   kSynthesizedAutomaton  — the paper's pipeline: the property is translated
+//                            into an AR-automaton (IL) ahead of time; each
+//                            step is then a table lookup. Generation time is
+//                            part of the reported verification time, which is
+//                            why the paper's TB-10000 column is dominated by
+//                            AR-automaton generation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sctc/proposition.hpp"
+#include "sim/kernel.hpp"
+#include "sim/module.hpp"
+#include "temporal/automaton.hpp"
+#include "temporal/monitor.hpp"
+#include "temporal/parser.hpp"
+
+namespace esv::sctc {
+
+enum class MonitorMode { kProgression, kSynthesizedAutomaton };
+
+/// Per-property state and result.
+struct PropertyRecord {
+  std::string name;
+  std::string text;
+  temporal::Dialect dialect = temporal::Dialect::kFltl;
+  temporal::FormulaRef formula = nullptr;
+
+  // Exactly one of these is active, depending on the checker's mode.
+  std::unique_ptr<temporal::ProgressionMonitor> progression;
+  std::unique_ptr<temporal::ArAutomaton> automaton;
+  std::unique_ptr<temporal::AutomatonMonitor> automaton_monitor;
+
+  /// Steps consumed when the verdict became final (0 while pending).
+  std::uint64_t decided_at_step = 0;
+  /// Simulation time when the verdict became final.
+  sim::Time decided_at_time;
+  /// AR-automaton size (synthesized mode only).
+  std::size_t automaton_states = 0;
+
+  temporal::Verdict verdict() const;
+};
+
+class TemporalChecker : public sim::Module {
+ public:
+  TemporalChecker(sim::Simulation& sim, std::string name,
+                  MonitorMode mode = MonitorMode::kProgression);
+  ~TemporalChecker() override;
+
+  MonitorMode mode() const { return mode_; }
+
+  /// Registers a named proposition. Properties refer to propositions by
+  /// these names. Re-registering a name replaces the proposition.
+  void register_proposition(const std::string& name,
+                            std::unique_ptr<Proposition> proposition);
+  /// Convenience: registers a LambdaProposition.
+  void register_proposition(const std::string& name,
+                            std::function<bool()> predicate);
+  bool has_proposition(const std::string& name) const;
+
+  /// Parses and instantiates a property monitor. Every proposition the
+  /// property mentions must already be registered (throws std::runtime_error
+  /// otherwise). Returns the property index.
+  std::size_t add_property(const std::string& name, const std::string& text,
+                           temporal::Dialect dialect = temporal::Dialect::kFltl);
+
+  /// Binds the checker to a trigger event: a method process steps all
+  /// monitors every time the event fires.
+  void bind_trigger(sim::Event& trigger);
+
+  /// Advances every pending monitor by one temporal step (called by the
+  /// trigger, or manually in tests).
+  void step_all();
+
+  /// If set, the simulation stops as soon as any property is violated.
+  void set_stop_on_violation(bool stop) { stop_on_violation_ = stop; }
+
+  /// Resets all monitors to their initial state (verdicts and step counts
+  /// are cleared; propositions keep their own state).
+  void reset_monitors();
+
+  // --- results ---
+  const std::vector<PropertyRecord>& properties() const { return properties_; }
+  std::uint64_t steps() const { return steps_; }
+  std::size_t pending_count() const;
+  std::size_t validated_count() const;
+  std::size_t violated_count() const;
+  bool any_violated() const { return violated_count() > 0; }
+  bool all_decided() const { return pending_count() == 0; }
+
+  /// Multi-line result table.
+  std::string report() const;
+
+  /// The formula factory (exposed for tests and tooling, e.g. IL dumps).
+  temporal::FormulaFactory& factory() { return factory_; }
+
+  // --- witness traces ---
+  /// Keeps a ring buffer of the last `depth` proposition valuations (0
+  /// disables, the default). When a property is violated, the buffer shows
+  /// the steps leading into the violation.
+  void set_witness_depth(std::size_t depth);
+  /// One recorded step: (step number, proposition values by factory index).
+  struct WitnessStep {
+    std::uint64_t step;
+    sim::Time time;
+    std::vector<bool> values;
+  };
+  const std::vector<WitnessStep>& witness() const { return witness_; }
+  /// Renders the witness buffer as a small waveform-style table.
+  std::string witness_table() const;
+
+ private:
+  temporal::PropValuation make_valuation();
+  void evaluate_propositions();
+  void record_witness();
+
+  MonitorMode mode_;
+  temporal::FormulaFactory factory_;
+  std::vector<std::unique_ptr<Proposition>> propositions_by_index_;
+  std::vector<PropertyRecord> properties_;
+  std::vector<char> value_cache_;  // per-step proposition values
+  std::uint64_t steps_ = 0;
+  bool stop_on_violation_ = false;
+  std::size_t witness_depth_ = 0;
+  std::vector<WitnessStep> witness_;
+};
+
+}  // namespace esv::sctc

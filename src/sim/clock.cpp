@@ -1,0 +1,35 @@
+#include "sim/clock.hpp"
+
+#include <stdexcept>
+
+namespace esv::sim {
+
+Clock::Clock(Simulation& sim, std::string name, Time period)
+    : Clock(sim, std::move(name), period, period) {}
+
+Clock::Clock(Simulation& sim, std::string name, Time period, Time first_edge)
+    : Module(sim, std::move(name)),
+      posedge_(sim, sub_name("posedge")),
+      negedge_(sim, sub_name("negedge")),
+      period_(period),
+      first_edge_(first_edge) {
+  if (period.is_zero()) throw std::invalid_argument("Clock: period must be > 0");
+  sim_.spawn(sub_name("gen"), generate());
+}
+
+Task Clock::generate() {
+  const Time high = Time::ps(period_.picoseconds() / 2);
+  const Time low = period_ - high;
+  if (!first_edge_.is_zero()) co_await sim_.delay(first_edge_);
+  for (;;) {
+    value_ = true;
+    ++cycles_;
+    posedge_.notify();
+    co_await sim_.delay(high);
+    value_ = false;
+    negedge_.notify();
+    co_await sim_.delay(low);
+  }
+}
+
+}  // namespace esv::sim

@@ -1,0 +1,39 @@
+// Clock: free-running clock generator, the sc_clock analogue and the timing
+// reference for the paper's first verification approach (the SCTC triggers on
+// the microprocessor clock).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/module.hpp"
+
+namespace esv::sim {
+
+class Clock final : public Module {
+ public:
+  /// A clock with the given period; the first posedge happens at
+  /// `first_edge` (defaults to one period after time zero).
+  Clock(Simulation& sim, std::string name, Time period);
+  Clock(Simulation& sim, std::string name, Time period, Time first_edge);
+
+  Event& posedge_event() { return posedge_; }
+  Event& negedge_event() { return negedge_; }
+
+  bool value() const { return value_; }
+  /// Number of posedges seen so far.
+  std::uint64_t cycles() const { return cycles_; }
+  Time period() const { return period_; }
+
+ private:
+  Task generate();
+
+  Event posedge_;
+  Event negedge_;
+  Time period_;
+  Time first_edge_;
+  bool value_ = false;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace esv::sim

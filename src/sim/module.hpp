@@ -1,0 +1,31 @@
+// Module: organizational base class, the sc_module analogue. Modules hold
+// events/signals/processes and give them hierarchical names.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace esv::sim {
+
+class Module {
+ public:
+  Module(Simulation& sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {}
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+  Simulation& simulation() { return sim_; }
+
+ protected:
+  /// Child-object name: "<module>.<leaf>".
+  std::string sub_name(const std::string& leaf) const { return name_ + "." + leaf; }
+
+  Simulation& sim_;
+  std::string name_;
+};
+
+}  // namespace esv::sim

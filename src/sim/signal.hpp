@@ -1,0 +1,60 @@
+// Signal<T>: primitive channel with SystemC evaluate/update semantics.
+//
+// Writes are deferred to the update phase of the current delta cycle, so all
+// processes in one evaluate phase observe the same stable value; the
+// value_changed event fires as a delta notification when the committed value
+// differs from the previous one.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace esv::sim {
+
+template <typename T>
+class Signal final : public Channel {
+ public:
+  Signal(Simulation& sim, std::string name, T initial = T{})
+      : sim_(sim),
+        changed_(sim, name + ".value_changed"),
+        name_(std::move(name)),
+        current_(initial),
+        next_(initial) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Current committed value (stable within an evaluate phase).
+  const T& read() const { return current_; }
+
+  /// Schedules `value` to be committed in the update phase.
+  void write(const T& value) {
+    next_ = value;
+    if (!update_pending_) {
+      update_pending_ = true;
+      sim_.request_update(*this);
+    }
+  }
+
+  /// Fires (delta) whenever a committed write changed the value.
+  Event& value_changed_event() { return changed_; }
+
+  void update() override {
+    update_pending_ = false;
+    if (!(next_ == current_)) {
+      current_ = next_;
+      changed_.notify_delta();
+    }
+  }
+
+ private:
+  Simulation& sim_;
+  Event changed_;
+  std::string name_;
+  T current_;
+  T next_;
+  bool update_pending_ = false;
+};
+
+}  // namespace esv::sim

@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+namespace esv::sim {
+
+std::string Time::to_string() const {
+  struct Unit {
+    std::uint64_t factor;
+    const char* name;
+  };
+  static constexpr Unit kUnits[] = {
+      {1000000000000ULL, "s"}, {1000000000ULL, "ms"}, {1000000ULL, "us"},
+      {1000ULL, "ns"},         {1ULL, "ps"},
+  };
+  if (ps_ == 0) return "0 s";
+  for (const auto& unit : kUnits) {
+    if (ps_ % unit.factor == 0) {
+      return std::to_string(ps_ / unit.factor) + " " + unit.name;
+    }
+  }
+  return std::to_string(ps_) + " ps";
+}
+
+}  // namespace esv::sim

@@ -1,0 +1,44 @@
+// Simulated time for the discrete-event kernel.
+//
+// Time is an integer count of picoseconds, mirroring SystemC's sc_time with a
+// fixed 1 ps resolution. Integer time keeps the kernel's event ordering exact.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace esv::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time ps(std::uint64_t v) { return Time(v); }
+  static constexpr Time ns(std::uint64_t v) { return Time(v * 1000ULL); }
+  static constexpr Time us(std::uint64_t v) { return Time(v * 1000000ULL); }
+  static constexpr Time ms(std::uint64_t v) { return Time(v * 1000000000ULL); }
+  static constexpr Time sec(std::uint64_t v) { return Time(v * 1000000000000ULL); }
+
+  /// Largest representable time; used as "run forever".
+  static constexpr Time max() { return Time(~std::uint64_t{0}); }
+  static constexpr Time zero() { return Time(0); }
+
+  constexpr std::uint64_t picoseconds() const { return ps_; }
+  constexpr bool is_zero() const { return ps_ == 0; }
+
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ps_ + b.ps_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ps_ - b.ps_); }
+  friend constexpr Time operator*(Time a, std::uint64_t k) { return Time(a.ps_ * k); }
+  Time& operator+=(Time other) { ps_ += other.ps_; return *this; }
+
+  /// Renders the time with the largest unit that divides it ("12 ns").
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Time(std::uint64_t ps) : ps_(ps) {}
+  std::uint64_t ps_ = 0;
+};
+
+}  // namespace esv::sim

@@ -1,0 +1,99 @@
+#include "sim/vcd.hpp"
+
+#include <stdexcept>
+
+namespace esv::sim {
+
+VcdTracer::VcdTracer(Simulation& sim, std::string timescale)
+    : sim_(sim), timescale_(std::move(timescale)) {}
+
+std::string VcdTracer::id_for(std::size_t index) {
+  // Printable-ASCII identifier codes, shortest first ("!", "\"", ... "!!").
+  std::string id;
+  std::size_t n = index;
+  do {
+    id += static_cast<char>('!' + n % 94);
+    n /= 94;
+  } while (n != 0);
+  return id;
+}
+
+void VcdTracer::add_bool(const std::string& name, std::function<bool()> probe) {
+  if (header_done_) {
+    throw std::logic_error("VcdTracer: add probes before the first sample");
+  }
+  Probe p;
+  p.name = name;
+  p.id = id_for(probes_.size());
+  p.width = 1;
+  p.read = [probe = std::move(probe)] { return probe() ? 1u : 0u; };
+  probes_.push_back(std::move(p));
+}
+
+void VcdTracer::add_u32(const std::string& name,
+                        std::function<std::uint32_t()> probe) {
+  if (header_done_) {
+    throw std::logic_error("VcdTracer: add probes before the first sample");
+  }
+  Probe p;
+  p.name = name;
+  p.id = id_for(probes_.size());
+  p.width = 32;
+  p.read = std::move(probe);
+  probes_.push_back(std::move(p));
+}
+
+void VcdTracer::emit_header() {
+  header_ << "$timescale " << timescale_ << " $end\n";
+  header_ << "$scope module esv $end\n";
+  for (const Probe& p : probes_) {
+    header_ << "$var wire " << p.width << " " << p.id << " " << p.name
+            << " $end\n";
+  }
+  header_ << "$upscope $end\n$enddefinitions $end\n";
+  header_done_ = true;
+}
+
+void VcdTracer::emit_value(const Probe& probe, std::uint32_t value) {
+  if (probe.width == 1) {
+    body_ << (value ? '1' : '0') << probe.id << "\n";
+    return;
+  }
+  body_ << "b";
+  bool leading = true;
+  for (int bit = 31; bit >= 0; --bit) {
+    const bool set = (value >> bit) & 1u;
+    if (set) leading = false;
+    if (!leading || bit == 0) body_ << (set ? '1' : '0');
+  }
+  body_ << " " << probe.id << "\n";
+}
+
+void VcdTracer::sample() {
+  if (!header_done_) emit_header();
+  const std::uint64_t now = sim_.now().picoseconds();
+  bool stamped = false;
+  for (Probe& p : probes_) {
+    const std::uint32_t value = p.read();
+    if (p.last.has_value() && *p.last == value) continue;
+    if (!stamped) {
+      if (!last_timestamp_.has_value() || *last_timestamp_ != now) {
+        body_ << "#" << now << "\n";
+        last_timestamp_ = now;
+      }
+      stamped = true;
+    }
+    emit_value(p, value);
+    p.last = value;
+  }
+  ++samples_;
+}
+
+void VcdTracer::sample_on(Event& trigger) {
+  sim_.create_method("vcd_sampler", [this] { sample(); }, {&trigger},
+                     /*run_at_start=*/false);
+}
+
+std::string VcdTracer::str() const { return header_.str() + body_.str(); }
+
+}  // namespace esv::sim

@@ -1,0 +1,72 @@
+// VCD (Value Change Dump) tracing — waveforms for debugging verification
+// runs, viewable in GTKWave & friends.
+//
+// Sampling is trigger-based to fit this library's monitoring style: bind the
+// tracer to the same event that triggers the SCTC (processor clock or
+// esw_pc_event) and every temporal step becomes one VCD sample; values are
+// emitted only when they change. Signals are registered as probes — plain
+// callables — so anything observable can be traced: Signal<T> values,
+// memory words, proposition values, monitor verdicts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace esv::sim {
+
+class VcdTracer {
+ public:
+  /// Creates a tracer; the VCD text accumulates in memory until write_to /
+  /// str() is called. `timescale` is emitted verbatim (default "1ps" to
+  /// match the kernel's resolution).
+  explicit VcdTracer(Simulation& sim, std::string timescale = "1ps");
+
+  /// Registers a 1-bit probe.
+  void add_bool(const std::string& name, std::function<bool()> probe);
+  /// Registers a 32-bit probe.
+  void add_u32(const std::string& name, std::function<std::uint32_t()> probe);
+
+  /// Samples every probe at the current simulation time, emitting changes.
+  /// The first sample also emits the header and initial values.
+  void sample();
+
+  /// Convenience: samples on every firing of `trigger`.
+  void sample_on(Event& trigger);
+
+  /// Number of samples taken.
+  std::uint64_t samples() const { return samples_; }
+
+  /// The complete VCD document (header + change dump so far).
+  std::string str() const;
+
+ private:
+  struct Probe {
+    std::string name;
+    std::string id;  // VCD identifier code
+    int width;       // 1 or 32
+    std::function<std::uint32_t()> read;
+    std::optional<std::uint32_t> last;
+  };
+
+  static std::string id_for(std::size_t index);
+  void emit_header();
+  void emit_value(const Probe& probe, std::uint32_t value);
+
+  Simulation& sim_;
+  std::string timescale_;
+  std::vector<Probe> probes_;
+  std::ostringstream header_;
+  std::ostringstream body_;
+  bool header_done_ = false;
+  std::uint64_t samples_ = 0;
+  std::optional<std::uint64_t> last_timestamp_;
+};
+
+}  // namespace esv::sim

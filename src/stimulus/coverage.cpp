@@ -1,0 +1,17 @@
+#include "stimulus/coverage.hpp"
+
+#include <algorithm>
+
+namespace esv::stimulus {
+
+void ReturnCodeCoverage::observe(std::uint32_t value) {
+  if (value == 0) return;
+  if (std::find(expected_.begin(), expected_.end(), value) !=
+      expected_.end()) {
+    observed_.insert(value);
+  } else {
+    ++anomalies_;
+  }
+}
+
+}  // namespace esv::stimulus

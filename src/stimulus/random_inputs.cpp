@@ -1,0 +1,69 @@
+#include "stimulus/random_inputs.hpp"
+
+namespace esv::stimulus {
+
+void RandomInputProvider::set_range(const std::string& name, std::int64_t lo,
+                                    std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("set_range: lo > hi");
+  Constraint c;
+  c.kind = Constraint::Kind::kRange;
+  c.lo = lo;
+  c.hi = hi;
+  constraints_[name] = std::move(c);
+}
+
+void RandomInputProvider::set_weighted(
+    const std::string& name,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> value_weight_pairs) {
+  if (value_weight_pairs.empty()) {
+    throw std::invalid_argument("set_weighted: empty choice list");
+  }
+  Constraint c;
+  c.kind = Constraint::Kind::kWeighted;
+  for (const auto& [value, weight] : value_weight_pairs) {
+    c.values.push_back(value);
+    c.weights.push_back(weight);
+  }
+  constraints_[name] = std::move(c);
+}
+
+void RandomInputProvider::set_chance(const std::string& name,
+                                     std::uint32_t num, std::uint32_t den) {
+  if (den == 0) throw std::invalid_argument("set_chance: den == 0");
+  Constraint c;
+  c.kind = Constraint::Kind::kChance;
+  c.num = num;
+  c.den = den;
+  constraints_[name] = std::move(c);
+}
+
+std::uint32_t RandomInputProvider::input(int, const std::string& name) {
+  auto it = constraints_.find(name);
+  if (it == constraints_.end()) {
+    throw std::runtime_error(
+        "unconstrained input '" + name +
+        "': constrain every external input to avoid false reasoning");
+  }
+  ++draws_;
+  const Constraint& c = it->second;
+  switch (c.kind) {
+    case Constraint::Kind::kRange:
+      return static_cast<std::uint32_t>(rng_.next_in_range(c.lo, c.hi));
+    case Constraint::Kind::kWeighted:
+      return c.values[rng_.next_weighted(
+          std::span<const std::uint32_t>(c.weights))];
+    case Constraint::Kind::kChance:
+      return rng_.next_chance(c.num, c.den) ? 1u : 0u;
+  }
+  return 0;
+}
+
+void configure_eeprom_inputs(RandomInputProvider& inputs,
+                             std::uint32_t fault_permille) {
+  inputs.set_range("op_select", 0, 6);
+  inputs.set_range("rec_id", 0, 9);
+  inputs.set_range("wdata", 0, 0xFFFF);
+  inputs.set_chance("inject_fault", fault_permille, 1000);
+}
+
+}  // namespace esv::stimulus

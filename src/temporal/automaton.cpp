@@ -1,0 +1,127 @@
+#include "temporal/automaton.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+namespace esv::temporal {
+
+std::size_t ArAutomaton::assignment_of(const PropValuation& values) const {
+  std::size_t idx = 0;
+  for (std::size_t bit = 0; bit < prop_indices_.size(); ++bit) {
+    if (values(prop_indices_[bit])) idx |= (std::size_t{1} << bit);
+  }
+  return idx;
+}
+
+ArAutomaton synthesize(FormulaFactory& factory, FormulaRef formula,
+                       const SynthesisOptions& options) {
+  ArAutomaton automaton;
+  automaton.prop_indices_ = factory.collect_prop_indices(formula);
+  const std::size_t prop_count = automaton.prop_indices_.size();
+  if (prop_count > options.max_props) {
+    throw SynthesisLimitError(
+        "synthesize: property has " + std::to_string(prop_count) +
+        " propositions; limit is " + std::to_string(options.max_props));
+  }
+  const std::size_t assignments = std::size_t{1} << prop_count;
+
+  std::unordered_map<FormulaRef, std::uint32_t> index_of;
+  std::deque<FormulaRef> worklist;
+
+  auto state_for = [&](FormulaRef f) -> std::uint32_t {
+    auto it = index_of.find(f);
+    if (it != index_of.end()) return it->second;
+    if (automaton.states_.size() >= options.max_states) {
+      throw SynthesisLimitError("synthesize: state limit of " +
+                                std::to_string(options.max_states) +
+                                " exceeded");
+    }
+    const auto id = static_cast<std::uint32_t>(automaton.states_.size());
+    ArAutomaton::State state;
+    state.obligation = f;
+    state.verdict = f->op() == Op::kTrue    ? Verdict::kValidated
+                    : f->op() == Op::kFalse ? Verdict::kViolated
+                                            : Verdict::kPending;
+    automaton.states_.push_back(std::move(state));
+    index_of.emplace(f, id);
+    if (!f->is_constant()) worklist.push_back(f);
+    return id;
+  };
+
+  automaton.initial_ = state_for(formula);
+  while (!worklist.empty()) {
+    FormulaRef f = worklist.front();
+    worklist.pop_front();
+    const std::uint32_t from = index_of.at(f);
+    automaton.states_[from].next.resize(assignments);
+    for (std::size_t a = 0; a < assignments; ++a) {
+      // Valuation for assignment index `a`: bit i gives prop_indices[i].
+      const auto valuation = [&](int prop_index) {
+        for (std::size_t bit = 0; bit < prop_count; ++bit) {
+          if (automaton.prop_indices_[bit] == prop_index) {
+            return (a >> bit & 1u) != 0;
+          }
+        }
+        return false;
+      };
+      FormulaRef succ = factory.progress(f, valuation);
+      automaton.states_[from].next[a] = state_for(succ);
+    }
+  }
+  // The accept/reject sinks self-loop.
+  for (auto& state : automaton.states_) {
+    if (state.verdict != Verdict::kPending && state.next.empty()) {
+      state.next.assign(assignments, index_of.at(state.obligation));
+    }
+  }
+  return automaton;
+}
+
+std::string ArAutomaton::to_il(const FormulaFactory& factory,
+                               const std::string& name) const {
+  std::string out;
+  out += "ar-automaton \"" + name + "\" {\n";
+  out += "  props:";
+  for (std::size_t bit = 0; bit < prop_indices_.size(); ++bit) {
+    out += " b" + std::to_string(bit) + "=" + factory.prop_name(prop_indices_[bit]);
+  }
+  out += "\n  initial: s" + std::to_string(initial_) + "\n";
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const State& s = states_[i];
+    out += "  state s" + std::to_string(i) + " [" +
+           std::string(temporal::to_string(s.verdict)) + "] " +
+           s.obligation->to_string() + "\n";
+    if (s.verdict != Verdict::kPending) continue;  // sinks are implicit
+    for (std::size_t a = 0; a < s.next.size(); ++a) {
+      std::string bits(prop_indices_.size(), '0');
+      for (std::size_t bit = 0; bit < prop_indices_.size(); ++bit) {
+        if (a >> bit & 1u) bits[bit] = '1';
+      }
+      out += "    on " + (bits.empty() ? std::string("-") : bits) + " -> s" +
+             std::to_string(s.next[a]) + "\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+AutomatonMonitor::AutomatonMonitor(const ArAutomaton& automaton)
+    : automaton_(automaton), state_(automaton.initial()) {}
+
+Verdict AutomatonMonitor::step(const PropValuation& values) {
+  if (verdict() != Verdict::kPending) return verdict();
+  ++steps_;
+  state_ = automaton_.states()[state_].next[automaton_.assignment_of(values)];
+  return verdict();
+}
+
+Verdict AutomatonMonitor::verdict() const {
+  return automaton_.states()[state_].verdict;
+}
+
+void AutomatonMonitor::reset() {
+  state_ = automaton_.initial();
+  steps_ = 0;
+}
+
+}  // namespace esv::temporal

@@ -1,0 +1,95 @@
+// Eager Accept/Reject automaton synthesis.
+//
+// The paper's SCTC "synthesis engine" translates a property into an
+// Accept/Reject automaton represented in an Intermediate Language (IL) and
+// then into an executable SystemC monitor. We reproduce that pipeline: the
+// automaton is built by exhaustive formula progression — states are the
+// distinct pending obligations reachable from the property, the alphabet is
+// the set of valuations of the property's propositions, and two distinguished
+// sinks mark validation (accept) and violation (reject).
+//
+// Synthesis cost grows with the time bounds in the property (every F[b]
+// contributes up to b+1 obligations), which is exactly the effect the paper
+// reports for its TB-10000 experiments ("V.T. includes large AR-automaton
+// generation time"); bench_ablation_ar_synthesis measures it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "temporal/formula.hpp"
+#include "temporal/monitor.hpp"
+
+namespace esv::temporal {
+
+struct SynthesisOptions {
+  /// Hard cap on the number of automaton states; synthesis throws
+  /// SynthesisLimitError beyond it.
+  std::size_t max_states = 2'000'000;
+  /// Maximum distinct propositions (the alphabet is 2^n assignments).
+  std::size_t max_props = 16;
+};
+
+class SynthesisLimitError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ArAutomaton {
+ public:
+  struct State {
+    FormulaRef obligation;           // the pending formula this state encodes
+    Verdict verdict;                 // verdict when the run is in this state
+    std::vector<std::uint32_t> next; // indexed by assignment (2^prop_count)
+  };
+
+  const std::vector<State>& states() const { return states_; }
+  std::uint32_t initial() const { return initial_; }
+  /// Proposition indices, ascending; assignment bit i is the value of
+  /// prop_indices()[i].
+  const std::vector<int>& prop_indices() const { return prop_indices_; }
+  std::size_t state_count() const { return states_.size(); }
+  std::size_t assignment_count() const {
+    return std::size_t{1} << prop_indices_.size();
+  }
+
+  /// Computes the assignment index for the given valuation.
+  std::size_t assignment_of(const PropValuation& values) const;
+
+  /// Renders the automaton in the textual Intermediate Language (IL).
+  std::string to_il(const FormulaFactory& factory,
+                    const std::string& name = "property") const;
+
+ private:
+  friend ArAutomaton synthesize(FormulaFactory&, FormulaRef,
+                                const SynthesisOptions&);
+  std::vector<State> states_;
+  std::uint32_t initial_ = 0;
+  std::vector<int> prop_indices_;
+};
+
+/// Builds the AR-automaton for `formula`. Deterministic: the same formula
+/// always yields the same automaton.
+ArAutomaton synthesize(FormulaFactory& factory, FormulaRef formula,
+                       const SynthesisOptions& options = {});
+
+/// Executable monitor over a synthesized automaton. Equivalent verdict
+/// behaviour to ProgressionMonitor, but each step is a table lookup.
+class AutomatonMonitor {
+ public:
+  explicit AutomatonMonitor(const ArAutomaton& automaton);
+
+  Verdict step(const PropValuation& values);
+  Verdict verdict() const;
+  std::uint32_t state() const { return state_; }
+  std::uint64_t steps() const { return steps_; }
+  void reset();
+
+ private:
+  const ArAutomaton& automaton_;
+  std::uint32_t state_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace esv::temporal

@@ -1,0 +1,47 @@
+#include "temporal/monitor.hpp"
+
+namespace esv::temporal {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kPending: return "pending";
+    case Verdict::kValidated: return "validated";
+    case Verdict::kViolated: return "violated";
+  }
+  return "?";
+}
+
+ProgressionMonitor::ProgressionMonitor(FormulaFactory& factory,
+                                       FormulaRef formula)
+    : factory_(factory), property_(formula), current_(formula) {
+  if (formula->op() == Op::kTrue) verdict_ = Verdict::kValidated;
+  if (formula->op() == Op::kFalse) verdict_ = Verdict::kViolated;
+}
+
+Verdict ProgressionMonitor::step(const PropValuation& values) {
+  if (verdict_ != Verdict::kPending) return verdict_;
+  ++steps_;
+  current_ = factory_.progress(current_, values);
+  if (current_->op() == Op::kTrue) {
+    verdict_ = Verdict::kValidated;
+  } else if (current_->op() == Op::kFalse) {
+    verdict_ = Verdict::kViolated;
+  }
+  return verdict_;
+}
+
+Verdict ProgressionMonitor::verdict_at_end() const {
+  if (verdict_ != Verdict::kPending) return verdict_;
+  return factory_.holds_on_empty(current_) ? Verdict::kValidated
+                                           : Verdict::kViolated;
+}
+
+void ProgressionMonitor::reset() {
+  current_ = property_;
+  steps_ = 0;
+  verdict_ = Verdict::kPending;
+  if (property_->op() == Op::kTrue) verdict_ = Verdict::kValidated;
+  if (property_->op() == Op::kFalse) verdict_ = Verdict::kViolated;
+}
+
+}  // namespace esv::temporal

@@ -1,0 +1,57 @@
+// Property monitors.
+//
+// A monitor consumes one proposition valuation per temporal step and reports
+// a three-valued verdict, exactly like the paper's AR-automata: kValidated
+// (the property is satisfied on every extension of the trace seen so far),
+// kViolated (falsified on every extension), or kPending (no decision yet).
+//
+// ProgressionMonitor evaluates by formula rewriting (each step progresses the
+// pending obligation); it is the lazy, build-free mode. The eager mode — an
+// explicitly synthesized AR-automaton — lives in automaton.hpp; both produce
+// identical verdicts (asserted by property tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "temporal/formula.hpp"
+
+namespace esv::temporal {
+
+enum class Verdict : std::uint8_t { kPending, kValidated, kViolated };
+
+/// Human-readable verdict name ("pending" / "validated" / "violated").
+const char* to_string(Verdict v);
+
+class ProgressionMonitor {
+ public:
+  /// `factory` must own `formula` and outlive the monitor.
+  ProgressionMonitor(FormulaFactory& factory, FormulaRef formula);
+
+  /// Consumes one step of the trace. Returns the verdict after the step.
+  /// Further steps after a final verdict are no-ops.
+  Verdict step(const PropValuation& values);
+
+  Verdict verdict() const { return verdict_; }
+  /// The pending obligation (kTrue/kFalse once decided).
+  FormulaRef current() const { return current_; }
+  FormulaRef property() const { return property_; }
+  std::uint64_t steps() const { return steps_; }
+
+  /// Finite-trace verdict if the trace ends now: resolves a pending
+  /// obligation with empty-suffix semantics (strong operators fail, weak
+  /// operators hold). Does not change the monitor state.
+  Verdict verdict_at_end() const;
+
+  /// Restarts monitoring from the original property.
+  void reset();
+
+ private:
+  FormulaFactory& factory_;
+  FormulaRef property_;
+  FormulaRef current_;
+  Verdict verdict_ = Verdict::kPending;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace esv::temporal

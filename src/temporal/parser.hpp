@@ -1,0 +1,55 @@
+// Property parsers for the two specification languages SCTC accepts:
+//
+//   FLTL  - LTL with optional time bounds on temporal operators:
+//             G (req -> F[100] ack)
+//             F (Read && X (busy U[20] done))
+//           Operators: ! && || -> <-> X F G U R W, bounds as OP[n].
+//
+//   PSL   - the simple subset of PSL's foundation language:
+//             always (req -> eventually! ack)
+//             never (error)
+//             always (req -> next[3] (ack until! done))
+//           Keywords: always, never, eventually!, next, next[n],
+//           until!, until (weak), before!, plus the boolean layer.
+//
+// Both dialects produce the same hash-consed FLTL core AST. Atomic
+// propositions are identifiers (or double-quoted strings for free-form names
+// like "var1 == 0"); they are resolved against registered Proposition objects
+// by the checker, not here.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "temporal/formula.hpp"
+
+namespace esv::temporal {
+
+enum class Dialect { kFltl, kPsl };
+
+/// Error with the offending position (byte offset into the property text).
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t position)
+      : std::runtime_error(message + " (at offset " +
+                           std::to_string(position) + ")"),
+        position_(position) {}
+  std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parses an FLTL property. Throws ParseError on malformed input.
+FormulaRef parse_fltl(std::string_view text, FormulaFactory& factory);
+
+/// Parses a PSL (simple subset) property. Throws ParseError on malformed
+/// input.
+FormulaRef parse_psl(std::string_view text, FormulaFactory& factory);
+
+/// Dialect-dispatching convenience wrapper.
+FormulaRef parse_property(std::string_view text, Dialect dialect,
+                          FormulaFactory& factory);
+
+}  // namespace esv::temporal

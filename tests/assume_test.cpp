@@ -1,0 +1,144 @@
+// __assume(e) across the whole toolchain: simulation platforms end the run
+// quietly when an assumption fails; formal engines prune the search space.
+#include <gtest/gtest.h>
+
+#include "cpu/codegen.hpp"
+#include "cpu/cpu.hpp"
+#include "esw/esw_program.hpp"
+#include "esw/interpreter.hpp"
+#include "formal/absref/absref.hpp"
+#include "formal/bmc/bmc.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+
+namespace esv {
+namespace {
+
+constexpr const char* kGuardedProgram = R"(
+  int x;
+  int reached;
+  void main(void) {
+    x = __in(a);
+    __assume(x >= 0 && x < 10);
+    reached = 1;
+    assert(x < 10);
+  }
+)";
+
+TEST(AssumeTest, InterpreterEndsRunQuietlyOnViolation) {
+  // Zero inputs satisfy the assumption; a scripted provider violating it
+  // must end the run without executing the rest.
+  class Fixed : public minic::InputProvider {
+   public:
+    explicit Fixed(std::uint32_t v) : v_(v) {}
+    std::uint32_t input(int, const std::string&) override { return v_; }
+
+   private:
+    std::uint32_t v_;
+  };
+
+  minic::Program program = minic::compile(kGuardedProgram);
+  esw::EswProgram lowered = esw::lower_program(program);
+
+  {
+    Fixed ok(5);
+    mem::AddressSpace memory(0x2000);
+    esw::Interpreter interp(program, lowered, memory, ok);
+    interp.run(1000);
+    EXPECT_TRUE(interp.finished());
+    EXPECT_EQ(interp.global("reached"), 1u);
+  }
+  {
+    Fixed bad(99);
+    mem::AddressSpace memory(0x2000);
+    esw::Interpreter interp(program, lowered, memory, bad);
+    EXPECT_NO_THROW(interp.run(1000));  // no AssertionFailure
+    EXPECT_TRUE(interp.finished());
+    EXPECT_EQ(interp.global("reached"), 0u);  // rest was skipped
+  }
+}
+
+TEST(AssumeTest, CpuHaltsWithoutTrap) {
+  class Fixed : public minic::InputProvider {
+   public:
+    std::uint32_t input(int, const std::string&) override { return 1000; }
+  };
+  minic::Program program = minic::compile(kGuardedProgram);
+  cpu::CodeImage image = cpu::compile_to_image(program);
+  sim::Simulation sim;
+  mem::AddressSpace memory(0x2000);
+  Fixed inputs;
+  sim::Clock clock(sim, "clk", sim::Time::ns(10));
+  cpu::Cpu core(sim, "cpu", image, memory, inputs, clock);
+  core.set_stop_on_halt(true);
+  sim.run(sim::Time::ms(1));
+  EXPECT_TRUE(core.halted());
+  EXPECT_FALSE(core.trapped());
+  EXPECT_EQ(memory.sctc_read_uint(program.find_global("reached")->address),
+            0u);
+}
+
+TEST(AssumeTest, BmcExcludesViolatingPaths) {
+  // Without the assume the assertion is violable; with it, provably safe —
+  // even though the input itself is unconstrained in the options.
+  minic::Program program = minic::compile(kGuardedProgram);
+  const auto r = formal::bmc::check(program);
+  EXPECT_EQ(r.status, formal::bmc::BmcResult::Status::kSafe);
+
+  minic::Program unguarded = minic::compile(R"(
+    int x;
+    void main(void) {
+      x = __in(a);
+      assert(x < 10);
+    }
+  )");
+  EXPECT_EQ(formal::bmc::check(unguarded).status,
+            formal::bmc::BmcResult::Status::kCounterexample);
+}
+
+TEST(AssumeTest, AbsRefPrunesAssumedFalsePaths) {
+  const auto r = formal::absref::check_assertions(minic::compile(R"(
+    int mode = 0;
+    void main(void) {
+      mode = __in(m);
+      __assume(mode == 1);
+      assert(mode == 1);
+    }
+  )"));
+  EXPECT_EQ(r.status, formal::absref::AbsRefResult::Status::kSafe);
+}
+
+TEST(AssumeTest, SyntaxErrors) {
+  EXPECT_THROW(minic::compile("void main(void) { __assume; }"),
+               minic::ParseError);
+  EXPECT_THROW(minic::compile("void main(void) { __assume(1) }"),
+               minic::ParseError);
+  EXPECT_THROW(minic::compile("void main(void) { __assume(undefined); }"),
+               minic::SemaError);
+}
+
+// A loop condition containing a call must be re-evaluated (and the call
+// re-executed) on every iteration after ANF extraction.
+TEST(LoweringRegressionTest, CallInLoopConditionReevaluates) {
+  minic::Program program = minic::compile(R"(
+    int calls;
+    int next(void) { calls = calls + 1; return calls; }
+    int total;
+    void main(void) {
+      while (next() < 5) {
+        total = total + 1;
+      }
+    }
+  )");
+  esw::EswProgram lowered = esw::lower_program(program);
+  mem::AddressSpace memory(0x2000);
+  minic::ZeroInputProvider inputs;
+  esw::Interpreter interp(program, lowered, memory, inputs);
+  interp.run(100000);
+  ASSERT_TRUE(interp.finished());
+  EXPECT_EQ(interp.global("calls"), 5u);  // evaluated until it returned 5
+  EXPECT_EQ(interp.global("total"), 4u);
+}
+
+}  // namespace
+}  // namespace esv

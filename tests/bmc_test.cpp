@@ -1,0 +1,355 @@
+// Tests for the bounded model checker: circuit correctness (differential
+// against the concrete interpreter semantics), counterexample discovery,
+// safety proofs, unwinding behaviour, and the case-study failure mode.
+#include <gtest/gtest.h>
+
+#include "casestudy/eeprom.hpp"
+#include "formal/bmc/bmc.hpp"
+#include "formal/bmc/spec.hpp"
+#include "minic/sema.hpp"
+
+namespace esv::formal::bmc {
+namespace {
+
+BmcResult run(const std::string& source, BmcOptions options = {}) {
+  minic::Program program = minic::compile(source);
+  return check(program, options);
+}
+
+TEST(BmcTest, SafeStraightLineProgram) {
+  const auto r = run(R"(
+    int x;
+    void main(void) {
+      x = 3 * 7;
+      assert(x == 21);
+      assert(x != 20);
+    }
+  )");
+  EXPECT_EQ(r.status, BmcResult::Status::kSafe);
+  EXPECT_EQ(r.property_assertions, 2u);
+  EXPECT_EQ(r.unwinding_assertions, 0u);
+}
+
+TEST(BmcTest, FailingAssertionFound) {
+  const auto r = run(R"(
+    int x;
+    void main(void) {
+      x = 5;
+      assert(x == 6);
+    }
+  )");
+  EXPECT_EQ(r.status, BmcResult::Status::kCounterexample);
+  EXPECT_EQ(r.failing_line, 5);
+}
+
+TEST(BmcTest, CounterexampleOverInputs) {
+  // Fails exactly when the input is 7.
+  BmcOptions options;
+  options.input_ranges["a"] = {0, 100};
+  const auto r = run(R"(
+    void main(void) {
+      int a = __in(a);
+      assert(a != 7);
+    }
+  )", options);
+  ASSERT_EQ(r.status, BmcResult::Status::kCounterexample);
+  ASSERT_EQ(r.inputs.size(), 1u);
+  EXPECT_EQ(r.inputs[0].first, "a");
+  EXPECT_EQ(r.inputs[0].second, 7u);
+}
+
+TEST(BmcTest, InputRangeConstraintsAvoidFalsePositives) {
+  // Without the range the assertion is violable; with it, safe.
+  BmcOptions constrained;
+  constrained.input_ranges["a"] = {0, 9};
+  const char* source = R"(
+    void main(void) {
+      int a = __in(a);
+      assert(a < 10);
+    }
+  )";
+  EXPECT_EQ(run(source, constrained).status, BmcResult::Status::kSafe);
+  EXPECT_EQ(run(source).status, BmcResult::Status::kCounterexample);
+}
+
+TEST(BmcTest, SignedArithmeticOverflowWrapFound) {
+  // 46341^2 overflows int32 and wraps negative: a*a >= 0 is NOT safe.
+  BmcOptions options;
+  options.input_ranges["a"] = {0, 100000};
+  options.max_seconds = 120;
+  const auto r = run(R"(
+    void main(void) {
+      int a = __in(a);
+      assert(a * a >= 0);
+    }
+  )", options);
+  EXPECT_EQ(r.status, BmcResult::Status::kCounterexample);
+}
+
+TEST(BmcTest, DivisionByZeroDetected) {
+  BmcOptions options;
+  options.input_ranges["a"] = {0, 5};
+  const auto r = run(R"(
+    int x;
+    void main(void) {
+      int a = __in(a);
+      x = 10 / a;
+    }
+  )", options);
+  EXPECT_EQ(r.status, BmcResult::Status::kCounterexample);
+  EXPECT_NE(r.detail.find("division"), std::string::npos);
+}
+
+TEST(BmcTest, FullyUnwoundLoopGivesRealProof) {
+  BmcOptions options;
+  options.unwind = 12;  // the loop runs 10 times: fully unwound
+  const auto r = run(R"(
+    int sum;
+    void main(void) {
+      int i;
+      sum = 0;
+      for (i = 0; i < 10; i++) { sum += i; }
+      assert(sum == 45);
+    }
+  )", options);
+  EXPECT_EQ(r.status, BmcResult::Status::kSafe);
+  EXPECT_EQ(r.unwinding_assertions, 0u);
+}
+
+TEST(BmcTest, InsufficientUnwindingIsOnlyBoundedSafe) {
+  BmcOptions options;
+  options.unwind = 3;  // loop needs 10 iterations
+  const auto r = run(R"(
+    int sum;
+    void main(void) {
+      int i;
+      sum = 0;
+      for (i = 0; i < 10; i++) { sum += i; }
+      assert(sum >= 0);
+    }
+  )", options);
+  EXPECT_EQ(r.status, BmcResult::Status::kBoundedSafe);
+  EXPECT_GT(r.unwinding_assertions, 0u);
+}
+
+TEST(BmcTest, BugBeyondUnwindBoundIsMissed) {
+  // The bug manifests at iteration 9; unwind 3 cannot see it — the classic
+  // BMC boundedness caveat the paper mentions ("CBMC can be used for
+  // finding errors and not for proving correctness").
+  const char* source = R"(
+    int i;
+    void main(void) {
+      for (i = 0; i < 20; i++) {
+        assert(i != 9);
+      }
+    }
+  )";
+  BmcOptions shallow;
+  shallow.unwind = 3;
+  EXPECT_EQ(run(source, shallow).status, BmcResult::Status::kBoundedSafe);
+  BmcOptions deep;
+  deep.unwind = 15;
+  EXPECT_EQ(run(source, deep).status, BmcResult::Status::kCounterexample);
+}
+
+TEST(BmcTest, FunctionInliningWithReturnValues) {
+  const auto r = run(R"(
+    int out;
+    int add3(int a, int b, int c) { return a + b + c; }
+    void main(void) {
+      out = add3(1, 2, 3);
+      assert(out == 6);
+    }
+  )");
+  EXPECT_EQ(r.status, BmcResult::Status::kSafe);
+}
+
+TEST(BmcTest, RecursionBeyondDepthReportsBudget) {
+  BmcOptions options;
+  options.max_inline_depth = 8;
+  const auto r = run(R"(
+    int f(int n) {
+      if (n <= 0) { return 0; }
+      return f(n - 1) + 1;
+    }
+    void main(void) {
+      int x = f(100);
+      assert(x == 100);
+    }
+  )", options);
+  EXPECT_EQ(r.status, BmcResult::Status::kBudgetExceeded);
+}
+
+TEST(BmcTest, SwitchFallthroughSemantics) {
+  BmcOptions options;
+  options.input_ranges["v"] = {0, 4};
+  const auto r = run(R"(
+    int out;
+    void main(void) {
+      int v = __in(v);
+      out = 0;
+      switch (v) {
+        case 0: out = 10; break;
+        case 1:
+        case 2: out = 20; break;
+        default: out = 99;
+      }
+      assert(out == 10 || out == 20 || out == 99);
+      assert(v != 1 || out == 20);
+      assert(v != 3 || out == 99);
+    }
+  )", options);
+  EXPECT_EQ(r.status, BmcResult::Status::kSafe);
+}
+
+TEST(BmcTest, BreakContinueSemantics) {
+  const auto r = run(R"(
+    int hits;
+    void main(void) {
+      int i;
+      hits = 0;
+      for (i = 0; i < 8; i++) {
+        if (i == 2) { continue; }
+        if (i == 5) { break; }
+        hits = hits + 1;
+      }
+      assert(hits == 4);
+      assert(i == 5);
+    }
+  )");
+  EXPECT_EQ(r.status, BmcResult::Status::kSafe);
+}
+
+TEST(BmcTest, ShortCircuitGuardsDivision) {
+  BmcOptions options;
+  options.input_ranges["a"] = {0, 3};
+  const auto r = run(R"(
+    int ok;
+    void main(void) {
+      int a = __in(a);
+      ok = (a != 0) && (6 / a >= 2);
+      assert(a != 2 || ok == 1);
+    }
+  )", options);
+  // The division-by-zero check sits behind the short-circuit guard, so the
+  // program is safe.
+  EXPECT_EQ(r.status, BmcResult::Status::kSafe);
+}
+
+TEST(BmcTest, ArraysWithSymbolicIndex) {
+  BmcOptions options;
+  options.input_ranges["k"] = {0, 3};
+  const auto r = run(R"(
+    int t[4];
+    void main(void) {
+      int k = __in(k);
+      t[0] = 10; t[1] = 11; t[2] = 12; t[3] = 13;
+      t[k] = 99;
+      assert(t[k] == 99);
+    }
+  )", options);
+  EXPECT_EQ(r.status, BmcResult::Status::kSafe);
+}
+
+TEST(BmcTest, GateBudgetStopsExplosion) {
+  BmcOptions options;
+  options.unwind = 50;
+  options.max_gates = 5000;  // tiny budget
+  const auto r = run(R"(
+    int acc;
+    void main(void) {
+      int i;
+      acc = __in(x);
+      for (i = 0; i < 50; i++) { acc = acc * acc + 1; }
+      assert(acc != 123);
+    }
+  )", options);
+  EXPECT_EQ(r.status, BmcResult::Status::kBudgetExceeded);
+}
+
+// --- circuit validation: signed division/remainder against C semantics -------
+
+struct DivCase {
+  std::int32_t a;
+  std::int32_t b;
+};
+
+class SignedDivisionTest : public ::testing::TestWithParam<DivCase> {};
+
+TEST_P(SignedDivisionTest, CircuitMatchesCSemantics) {
+  const DivCase& tc = GetParam();
+  const std::int32_t q = tc.a / tc.b;
+  const std::int32_t r = tc.a % tc.b;
+  // The inputs range over a window around the case so the division circuit
+  // is really symbolic; the assertion pins the interesting point.
+  BmcOptions options;
+  options.input_ranges["a"] = {tc.a - 1, tc.a + 1};
+  options.input_ranges["b"] = {tc.b, tc.b + 1};  // window excludes 0
+  const std::string source =
+      "int qq; int rr;\n"
+      "void main(void) {\n"
+      "  int a = __in(a);\n"
+      "  int b = __in(b);\n"
+      "  qq = a / b;\n"
+      "  rr = a % b;\n"
+      "  assert(!(a == (" + std::to_string(tc.a) + ") && b == (" +
+      std::to_string(tc.b) + ")) || (qq == (" + std::to_string(q) +
+      ") && rr == (" + std::to_string(r) + ")));\n"
+      "}\n";
+  const auto result = run(source, options);
+  EXPECT_EQ(result.status, BmcResult::Status::kSafe)
+      << tc.a << " / " << tc.b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SignedDivisionTest,
+    ::testing::Values(DivCase{7, 2}, DivCase{-7, 2}, DivCase{7, -3},
+                      DivCase{-7, -3}, DivCase{0, 5}, DivCase{1, 1},
+                      DivCase{100000, 7}, DivCase{-100000, 9},
+                      DivCase{2147483647, 2}, DivCase{-2147483647, 3},
+                      DivCase{6, 6}, DivCase{-5, 5}),
+    [](const ::testing::TestParamInfo<DivCase>& info) {
+      const auto sgn = [](std::int32_t v) {
+        return v < 0 ? "m" + std::to_string(-v) : std::to_string(v);
+      };
+      return sgn(info.param.a) + "_over_" + sgn(info.param.b);
+    });
+
+// --- the paper's Fig. 7 failure mode on the case study ------------------------
+
+TEST(BmcCaseStudyTest, SpecInstrumentationInsertsMonitor) {
+  const auto& read = casestudy::operation_by_name("Read");
+  const std::string instrumented = instrument_response(
+      casestudy::eeprom_emulation_source(), read.op_code, read.ret_global,
+      read.return_codes);
+  EXPECT_NE(instrumented.find("Spec-tool generated"), std::string::npos);
+  EXPECT_NE(instrumented.find("assert(ret_read == 1"), std::string::npos);
+  // Still a valid program.
+  EXPECT_NO_THROW(minic::compile(instrumented));
+}
+
+TEST(BmcCaseStudyTest, EepromUnwindingExceedsBudget) {
+  const auto& read = casestudy::operation_by_name("Read");
+  const std::string instrumented = instrument_response(
+      casestudy::eeprom_emulation_source(), read.op_code, read.ret_global,
+      read.return_codes);
+  minic::Program program = minic::compile(instrumented);
+  BmcOptions options;
+  options.unwind = 20;           // the paper's unwinding limit
+  options.max_gates = 2'000'000; // keep the test fast; the bench uses more
+  options.input_ranges["op_select"] = {0, 6};
+  options.input_ranges["rec_id"] = {0, 9};
+  options.input_ranges["wdata"] = {0, 0xFFFF};
+  options.input_ranges["inject_fault"] = {0, 1};
+  const BmcResult r = check(program, options);
+  // The unbounded main loop + deep poll loops make full unwinding
+  // infeasible: either the budget blows or only bounded-safety remains.
+  EXPECT_TRUE(r.status == BmcResult::Status::kBudgetExceeded ||
+              r.status == BmcResult::Status::kBoundedSafe ||
+              r.status == BmcResult::Status::kSolverTimeout)
+      << to_string(r.status);
+  EXPECT_NE(r.status, BmcResult::Status::kCounterexample);
+}
+
+}  // namespace
+}  // namespace esv::formal::bmc

@@ -1,0 +1,259 @@
+// Tests for the CAN controller model and an end-to-end gateway workload
+// verified with temporal properties (second automotive vertical).
+#include <gtest/gtest.h>
+
+#include "can/can_controller.hpp"
+#include "esw/esw_model.hpp"
+#include "esw/esw_program.hpp"
+#include "esw/interpreter.hpp"
+#include "minic/sema.hpp"
+#include "sctc/checker.hpp"
+
+namespace esv::can {
+namespace {
+
+TEST(CanControllerTest, RxFifoOrderAndPop) {
+  CanController can;
+  EXPECT_EQ(can.mmio_read(CanController::kRegRxStatus), 0u);
+  can.inject_rx(0x100, 11);
+  can.inject_rx(0x200, 22);
+  EXPECT_EQ(can.mmio_read(CanController::kRegRxStatus),
+            CanController::kRxMsgAvailable);
+  EXPECT_EQ(can.mmio_read(CanController::kRegRxId), 0x100u);
+  EXPECT_EQ(can.mmio_read(CanController::kRegRxData), 11u);
+  can.mmio_write(CanController::kRegRxPop, 1);
+  EXPECT_EQ(can.mmio_read(CanController::kRegRxId), 0x200u);
+  can.mmio_write(CanController::kRegRxPop, 1);
+  EXPECT_EQ(can.mmio_read(CanController::kRegRxStatus), 0u);
+  EXPECT_EQ(can.mmio_read(CanController::kRegRxId), 0u);  // empty reads 0
+}
+
+TEST(CanControllerTest, OverrunWhenFifoFull) {
+  CanConfig cfg;
+  cfg.rx_fifo_depth = 2;
+  CanController can(cfg);
+  EXPECT_TRUE(can.inject_rx(1, 0));
+  EXPECT_TRUE(can.inject_rx(2, 0));
+  EXPECT_FALSE(can.inject_rx(3, 0));  // dropped
+  EXPECT_TRUE(can.overrun());
+  EXPECT_EQ(can.rx_dropped(), 1u);
+  EXPECT_EQ(can.rx_pending(), 2u);
+  EXPECT_TRUE(can.mmio_read(CanController::kRegRxStatus) &
+              CanController::kRxOverrun);
+  can.mmio_write(CanController::kRegRxClearOverrun, 1);
+  EXPECT_FALSE(can.overrun());
+}
+
+TEST(CanControllerTest, TransmitWithLatency) {
+  CanConfig cfg;
+  cfg.tx_busy_ticks = 3;
+  CanController can(cfg);
+  can.mmio_write(CanController::kRegTxId, 0x321);
+  can.mmio_write(CanController::kRegTxData, 0xAB);
+  can.mmio_write(CanController::kRegTxCtrl, 1);
+  EXPECT_TRUE(can.tx_busy());
+  EXPECT_TRUE(can.tx_log().empty());
+  for (int i = 0; i < 3; ++i) can.tick();
+  EXPECT_FALSE(can.tx_busy());
+  EXPECT_EQ(can.mmio_read(CanController::kRegTxStatus),
+            CanController::kTxDone);
+  ASSERT_EQ(can.tx_log().size(), 1u);
+  EXPECT_EQ(can.tx_log()[0], (CanFrame{0x321, 0xAB}));
+}
+
+TEST(CanControllerTest, SendWhileBusyIgnored) {
+  CanConfig cfg;
+  cfg.tx_busy_ticks = 4;
+  CanController can(cfg);
+  can.mmio_write(CanController::kRegTxId, 1);
+  can.mmio_write(CanController::kRegTxCtrl, 1);
+  can.mmio_write(CanController::kRegTxId, 2);
+  can.mmio_write(CanController::kRegTxCtrl, 1);  // ignored: still busy
+  for (int i = 0; i < 4; ++i) can.tick();
+  ASSERT_EQ(can.tx_log().size(), 1u);
+  EXPECT_EQ(can.tx_log()[0].id, 2u);  // id register was rewritten, one send
+}
+
+TEST(CanControllerTest, TxFaultSetsError) {
+  CanConfig cfg;
+  cfg.tx_busy_ticks = 2;
+  CanController can(cfg);
+  can.inject_tx_fault();
+  can.mmio_write(CanController::kRegTxCtrl, 1);
+  for (int i = 0; i < 2; ++i) can.tick();
+  EXPECT_TRUE(can.mmio_read(CanController::kRegTxStatus) &
+              CanController::kTxError);
+  EXPECT_TRUE(can.tx_log().empty());
+  // Next send succeeds.
+  can.mmio_write(CanController::kRegTxCtrl, 1);
+  for (int i = 0; i < 2; ++i) can.tick();
+  EXPECT_EQ(can.tx_log().size(), 1u);
+}
+
+// --- gateway workload ---------------------------------------------------------
+
+constexpr const char* kGatewaySource = R"(
+  /* CAN gateway: forwards engine frames (0x100..0x1FF) to the body bus
+     with a translated id (+0x400); drops everything else. */
+  enum {
+    CAN_RX_STATUS = 0xE0000000, CAN_RX_ID = 0xE0000004,
+    CAN_RX_DATA = 0xE0000008, CAN_RX_POP = 0xE000000C,
+    CAN_RX_CLROVR = 0xE0000010,
+    CAN_TX_ID = 0xE0000014, CAN_TX_DATA = 0xE0000018,
+    CAN_TX_CTRL = 0xE000001C, CAN_TX_STATUS = 0xE0000020
+  };
+  enum { POLL_LIMIT = 256 };
+
+  bool flag;
+  int forwarded;
+  int dropped;
+  int overruns;
+  int tx_errors;
+  int busy_now;   /* observable: a forward is in progress */
+
+  int tx_wait_done(void) {
+    int i;
+    for (i = 0; i < POLL_LIMIT; i++) {
+      int s = *(CAN_TX_STATUS);
+      if ((s & 1) == 0) { return s; }
+    }
+    return -1;
+  }
+
+  void forward(int id, int data) {
+    busy_now = 1;
+    *(CAN_TX_ID) = id - 0x100 + 0x500;
+    *(CAN_TX_DATA) = data;
+    *(CAN_TX_CTRL) = 1;
+    int s = tx_wait_done();
+    if (s < 0) {
+      tx_errors = tx_errors + 1;
+    } else if ((s & 4) != 0) {
+      tx_errors = tx_errors + 1;
+    } else {
+      forwarded = forwarded + 1;
+    }
+    busy_now = 0;
+  }
+
+  void service_rx(void) {
+    int status = *(CAN_RX_STATUS);
+    if ((status & 2) != 0) {
+      overruns = overruns + 1;
+      *(CAN_RX_CLROVR) = 1;
+    }
+    if ((status & 1) == 0) { return; }
+    int id = *(CAN_RX_ID);
+    int data = *(CAN_RX_DATA);
+    *(CAN_RX_POP) = 1;
+    if (id >= 0x100 && id < 0x200) {
+      forward(id, data);
+    } else {
+      dropped = dropped + 1;
+    }
+  }
+
+  void main(void) {
+    flag = true;
+    while (1) {
+      service_rx();
+    }
+  }
+)";
+
+struct GatewayBench {
+  GatewayBench()
+      : program(minic::compile(kGatewaySource)),
+        lowered(esw::lower_program(program)),
+        memory(0x2000),
+        interp((memory.map_device(0xE0000000, CanController::kWindowBytes,
+                                  can),
+                program),
+               lowered, memory, inputs) {}
+
+  std::uint32_t g(const std::string& name) { return interp.global(name); }
+
+  CanController can;
+  minic::Program program;
+  esw::EswProgram lowered;
+  mem::AddressSpace memory;
+  minic::ZeroInputProvider inputs;
+  esw::Interpreter interp;
+};
+
+TEST(GatewayTest, ForwardsEngineFramesWithTranslatedIds) {
+  GatewayBench bench;
+  bench.can.inject_rx(0x123, 77);
+  bench.can.inject_rx(0x7FF, 88);  // out of range: dropped
+  bench.can.inject_rx(0x1FF, 99);
+  bench.interp.run(5000);
+  ASSERT_EQ(bench.can.tx_log().size(), 2u);
+  EXPECT_EQ(bench.can.tx_log()[0], (can::CanFrame{0x523, 77}));
+  EXPECT_EQ(bench.can.tx_log()[1], (can::CanFrame{0x5FF, 99}));
+  EXPECT_EQ(bench.g("forwarded"), 2u);
+  EXPECT_EQ(bench.g("dropped"), 1u);
+  EXPECT_EQ(bench.g("tx_errors"), 0u);
+}
+
+TEST(GatewayTest, CountsOverrunsAndRecovers) {
+  GatewayBench bench;
+  for (int i = 0; i < 8; ++i) {
+    bench.can.inject_rx(0x100 + static_cast<std::uint32_t>(i), 1);
+  }
+  EXPECT_TRUE(bench.can.overrun());  // fifo depth 4: some were dropped
+  bench.interp.run(20000);
+  EXPECT_EQ(bench.g("overruns"), 1u);
+  EXPECT_EQ(bench.g("forwarded"), 4u);  // the queued ones all went out
+  EXPECT_FALSE(bench.can.overrun());    // software cleared the flag
+}
+
+TEST(GatewayTest, TxFaultCountedAsError) {
+  GatewayBench bench;
+  bench.can.inject_tx_fault();
+  bench.can.inject_rx(0x150, 5);
+  bench.interp.run(5000);
+  EXPECT_EQ(bench.g("tx_errors"), 1u);
+  EXPECT_EQ(bench.g("forwarded"), 0u);
+}
+
+// Temporal properties over the gateway, checked on the derived model with a
+// testbench process injecting bus traffic.
+TEST(GatewayTest, BoundedForwardingPropertyHolds) {
+  minic::Program program = minic::compile(kGatewaySource);
+  esw::EswProgram lowered = esw::lower_program(program);
+  mem::AddressSpace memory(0x2000);
+  CanController can;
+  memory.map_device(0xE0000000, CanController::kWindowBytes, can);
+  minic::ZeroInputProvider inputs;
+
+  sim::Simulation sim;
+  esw::EswModel model(sim, "gateway", program, lowered, memory, inputs);
+
+  sctc::TemporalChecker checker(sim, "sctc");
+  checker.register_proposition("rx_pending", [&] { return can.rx_pending() > 0; });
+  checker.register_proposition("forwarding", [&] {
+    return memory.sctc_read_uint(program.find_global("busy_now")->address) != 0;
+  });
+  // Every pending frame is serviced within a bounded number of statements,
+  // and every forward completes (busy_now falls) within the TX latency.
+  checker.add_property("service", "G (rx_pending -> F[400] !rx_pending)");
+  checker.add_property("tx_completes", "G (forwarding -> F[400] !forwarding)");
+  checker.bind_trigger(model.pc_event());
+  checker.set_stop_on_violation(true);
+
+  // Bus traffic: a frame every 50 statement-times.
+  sim.spawn("bus", [](sim::Simulation& s, CanController& c) -> sim::Task {
+    for (int i = 0; i < 40; ++i) {
+      co_await s.delay(sim::Time::ns(50));
+      c.inject_rx(0x100 + static_cast<std::uint32_t>(i % 0x40),
+                  static_cast<std::uint32_t>(i));
+    }
+  }(sim, can));
+
+  sim.run(sim::Time::us(30));
+  EXPECT_FALSE(checker.any_violated()) << checker.report();
+  EXPECT_EQ(can.tx_log().size(), 40u);
+}
+
+}  // namespace
+}  // namespace esv::can

@@ -1,0 +1,223 @@
+// Tests for the address space / MMIO dispatch and the flash controller model.
+#include <gtest/gtest.h>
+
+#include "flash/flash_controller.hpp"
+#include "mem/address_space.hpp"
+
+namespace esv {
+namespace {
+
+using flash::FlashConfig;
+using flash::FlashController;
+using mem::AddressSpace;
+using mem::MemoryFault;
+
+TEST(AddressSpaceTest, RamReadWrite) {
+  AddressSpace mem(0x1000);
+  mem.write_word(0x100, 0xDEADBEEF);
+  EXPECT_EQ(mem.read_word(0x100), 0xDEADBEEFu);
+  EXPECT_EQ(mem.read_word(0x104), 0u);  // zero-initialized
+}
+
+TEST(AddressSpaceTest, FaultsOnMisalignedAndUnmapped) {
+  AddressSpace mem(0x1000);
+  EXPECT_THROW(mem.read_word(0x101), MemoryFault);
+  EXPECT_THROW(mem.write_word(0x102, 1), MemoryFault);
+  EXPECT_THROW(mem.read_word(0x2000), MemoryFault);
+  EXPECT_THROW(mem.write_word(0x2000, 1), MemoryFault);
+}
+
+class CountingDevice : public mem::MmioDevice {
+ public:
+  std::uint32_t mmio_read(std::uint32_t offset) override {
+    last_read_offset = offset;
+    return 0x1234;
+  }
+  void mmio_write(std::uint32_t offset, std::uint32_t value) override {
+    last_write_offset = offset;
+    last_write_value = value;
+  }
+  void tick() override { ++ticks; }
+
+  std::uint32_t last_read_offset = 0;
+  std::uint32_t last_write_offset = 0;
+  std::uint32_t last_write_value = 0;
+  int ticks = 0;
+};
+
+TEST(AddressSpaceTest, MmioDispatchUsesOffsets) {
+  AddressSpace mem(0x1000);
+  CountingDevice dev;
+  mem.map_device(0xF0000000, 0x100, dev);
+  EXPECT_EQ(mem.read_word(0xF0000004), 0x1234u);
+  EXPECT_EQ(dev.last_read_offset, 4u);
+  mem.write_word(0xF0000008, 77);
+  EXPECT_EQ(dev.last_write_offset, 8u);
+  EXPECT_EQ(dev.last_write_value, 77u);
+}
+
+TEST(AddressSpaceTest, TickReachesAllDevices) {
+  AddressSpace mem(0x1000);
+  CountingDevice a;
+  CountingDevice b;
+  mem.map_device(0xF0000000, 0x100, a);
+  mem.map_device(0xF0001000, 0x100, b);
+  mem.tick_devices();
+  mem.tick_devices();
+  EXPECT_EQ(a.ticks, 2);
+  EXPECT_EQ(b.ticks, 2);
+}
+
+TEST(AddressSpaceTest, OverlappingMappingsRejected) {
+  AddressSpace mem(0x1000);
+  CountingDevice a;
+  CountingDevice b;
+  mem.map_device(0xF0000000, 0x100, a);
+  EXPECT_THROW(mem.map_device(0xF0000080, 0x100, b), std::invalid_argument);
+  EXPECT_THROW(mem.map_device(0x800, 0x100, b), std::invalid_argument);
+}
+
+TEST(AddressSpaceTest, MonitorReadsAreSafe) {
+  AddressSpace mem(0x1000);
+  CountingDevice dev;
+  mem.map_device(0xF0000000, 0x100, dev);
+  mem.write_word(0x10, 5);
+  EXPECT_EQ(mem.sctc_read_uint(0x10), 5u);
+  // Device registers and unmapped/misaligned addresses read as 0, without
+  // side effects.
+  EXPECT_EQ(mem.sctc_read_uint(0xF0000004), 0u);
+  EXPECT_EQ(dev.last_read_offset, 0u);
+  EXPECT_EQ(mem.sctc_read_uint(0x11), 0u);
+  EXPECT_EQ(mem.sctc_read_uint(0x999999), 0u);
+}
+
+// --- FlashController ---------------------------------------------------------
+
+FlashConfig small_config() {
+  FlashConfig cfg;
+  cfg.pages = 2;
+  cfg.words_per_page = 4;
+  cfg.erase_busy_ticks = 3;
+  cfg.program_busy_ticks = 2;
+  return cfg;
+}
+
+TEST(FlashTest, PowerOnErased) {
+  FlashController flash(small_config());
+  for (std::uint32_t off = 0; off < flash.array_bytes(); off += 4) {
+    EXPECT_EQ(flash.word_at(off), FlashController::kErasedWord);
+  }
+}
+
+TEST(FlashTest, ProgramWordAfterBusy) {
+  FlashController flash(small_config());
+  flash.mmio_write(FlashController::kRegAddr, 8);
+  flash.mmio_write(FlashController::kRegData, 0xCAFE);
+  flash.mmio_write(FlashController::kRegCmd, FlashController::kCmdProgramWord);
+  EXPECT_TRUE(flash.busy());
+  EXPECT_EQ(flash.word_at(8), FlashController::kErasedWord);  // not yet
+  flash.tick();
+  flash.tick();
+  EXPECT_FALSE(flash.busy());
+  EXPECT_EQ(flash.word_at(8), 0xCAFEu);
+  EXPECT_EQ(flash.program_count(), 1u);
+}
+
+TEST(FlashTest, ProgramNonErasedCellFails) {
+  FlashController flash(small_config());
+  flash.backdoor_write(8, 0x1111);
+  flash.mmio_write(FlashController::kRegAddr, 8);
+  flash.mmio_write(FlashController::kRegData, 0x2222);
+  flash.mmio_write(FlashController::kRegCmd, FlashController::kCmdProgramWord);
+  flash.tick();
+  flash.tick();
+  EXPECT_TRUE(flash.error());
+  EXPECT_EQ(flash.word_at(8), 0x1111u);  // unchanged
+  EXPECT_EQ(flash.failed_op_count(), 1u);
+}
+
+TEST(FlashTest, ErasePageRestoresErasedState) {
+  FlashController flash(small_config());
+  flash.backdoor_write(0, 1);
+  flash.backdoor_write(12, 2);
+  flash.backdoor_write(16, 3);  // page 1: must survive
+  flash.mmio_write(FlashController::kRegAddr, 0);  // page 0
+  flash.mmio_write(FlashController::kRegCmd, FlashController::kCmdErasePage);
+  for (int i = 0; i < 3; ++i) flash.tick();
+  EXPECT_EQ(flash.word_at(0), FlashController::kErasedWord);
+  EXPECT_EQ(flash.word_at(12), FlashController::kErasedWord);
+  EXPECT_EQ(flash.word_at(16), 3u);
+  EXPECT_EQ(flash.erase_count(), 1u);
+}
+
+TEST(FlashTest, StatusRegisterTracksBusyAndError) {
+  FlashController flash(small_config());
+  EXPECT_EQ(flash.mmio_read(FlashController::kRegStatus),
+            FlashController::kStatusReady);
+  flash.mmio_write(FlashController::kRegAddr, 0);
+  flash.mmio_write(FlashController::kRegCmd, FlashController::kCmdErasePage);
+  EXPECT_EQ(flash.mmio_read(FlashController::kRegStatus),
+            FlashController::kStatusBusy);
+  for (int i = 0; i < 3; ++i) flash.tick();
+  EXPECT_EQ(flash.mmio_read(FlashController::kRegStatus),
+            FlashController::kStatusReady);
+}
+
+TEST(FlashTest, CommandWhileBusyIsRejected) {
+  FlashController flash(small_config());
+  flash.mmio_write(FlashController::kRegAddr, 0);
+  flash.mmio_write(FlashController::kRegCmd, FlashController::kCmdErasePage);
+  flash.mmio_write(FlashController::kRegCmd, FlashController::kCmdProgramWord);
+  EXPECT_TRUE(flash.error());
+  for (int i = 0; i < 3; ++i) flash.tick();
+  // The original erase still completed.
+  EXPECT_EQ(flash.erase_count(), 1u);
+  // ACK clears the error.
+  flash.mmio_write(FlashController::kRegAck, 1);
+  EXPECT_FALSE(flash.error());
+}
+
+TEST(FlashTest, FaultInjectionFailsNextCommand) {
+  FlashController flash(small_config());
+  flash.inject_fault();
+  flash.mmio_write(FlashController::kRegAddr, 0);
+  flash.mmio_write(FlashController::kRegData, 0xAA);
+  flash.mmio_write(FlashController::kRegCmd, FlashController::kCmdProgramWord);
+  flash.tick();
+  flash.tick();
+  EXPECT_TRUE(flash.error());
+  EXPECT_EQ(flash.word_at(0), FlashController::kErasedWord);
+  // The injection is one-shot: the retry succeeds.
+  flash.mmio_write(FlashController::kRegAck, 1);
+  flash.mmio_write(FlashController::kRegCmd, FlashController::kCmdProgramWord);
+  flash.tick();
+  flash.tick();
+  EXPECT_EQ(flash.word_at(0), 0xAAu);
+}
+
+TEST(FlashTest, ArrayIsReadableViaMmioWindow) {
+  AddressSpace mem(0x1000);
+  FlashController flash(small_config());
+  mem.map_device(0xF0000000, flash.window_bytes(), flash);
+  flash.backdoor_write(4, 0x77);
+  EXPECT_EQ(mem.read_word(0xF0000000 + FlashController::kArrayOffset + 4),
+            0x77u);
+  // Stray direct writes to the array set ERROR instead of writing.
+  mem.write_word(0xF0000000 + FlashController::kArrayOffset + 4, 0x99);
+  EXPECT_TRUE(flash.error());
+  EXPECT_EQ(flash.word_at(4), 0x77u);
+}
+
+TEST(FlashTest, InvalidCommandAndBadPage) {
+  FlashController flash(small_config());
+  flash.mmio_write(FlashController::kRegCmd, 99);
+  EXPECT_TRUE(flash.error());
+  flash.mmio_write(FlashController::kRegAck, 1);
+  flash.mmio_write(FlashController::kRegAddr, 0x10000);  // beyond the array
+  flash.mmio_write(FlashController::kRegCmd, FlashController::kCmdErasePage);
+  for (int i = 0; i < 3; ++i) flash.tick();
+  EXPECT_TRUE(flash.error());
+}
+
+}  // namespace
+}  // namespace esv

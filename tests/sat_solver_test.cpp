@@ -1,0 +1,211 @@
+// Tests for the CDCL SAT solver, including a brute-force differential sweep.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "formal/sat/solver.hpp"
+
+namespace esv::formal::sat {
+namespace {
+
+TEST(SatTest, TrivialSat) {
+  Solver s;
+  const int a = s.new_var();
+  s.add_clause({a});
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.value(a));
+}
+
+TEST(SatTest, TrivialUnsat) {
+  Solver s;
+  const int a = s.new_var();
+  s.add_clause({a});
+  s.add_clause({-a});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatTest, EmptyClauseIsUnsat) {
+  Solver s;
+  s.new_var();
+  s.add_clause({});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatTest, TautologyClauseIgnored) {
+  Solver s;
+  const int a = s.new_var();
+  s.add_clause({a, -a});
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatTest, UnitPropagationChain) {
+  Solver s;
+  const int a = s.new_var();
+  const int b = s.new_var();
+  const int c = s.new_var();
+  s.add_clause({a});
+  s.add_clause({-a, b});
+  s.add_clause({-b, c});
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.value(a));
+  EXPECT_TRUE(s.value(b));
+  EXPECT_TRUE(s.value(c));
+}
+
+TEST(SatTest, RequiresConflictAnalysis) {
+  // (a|b) (a|-b) (-a|c) (-a|-c) is unsat.
+  Solver s;
+  const int a = s.new_var();
+  const int b = s.new_var();
+  const int c = s.new_var();
+  s.add_clause({a, b});
+  s.add_clause({a, -b});
+  s.add_clause({-a, c});
+  s.add_clause({-a, -c});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatTest, PigeonholeUnsat) {
+  // 5 pigeons, 4 holes.
+  const int pigeons = 5;
+  const int holes = 4;
+  Solver s;
+  std::vector<std::vector<int>> at(pigeons, std::vector<int>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) at[p][h] = s.new_var();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(at[p][h]);
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.add_clause({-at[p1][h], -at[p2][h]});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(SatTest, GraphColoringSat) {
+  // 3-color a 5-cycle (possible with 3 colors).
+  const int n = 5;
+  const int k = 3;
+  Solver s;
+  std::vector<std::vector<int>> color(n, std::vector<int>(k));
+  for (int v = 0; v < n; ++v) {
+    for (int c = 0; c < k; ++c) color[v][c] = s.new_var();
+    s.add_clause({color[v][0], color[v][1], color[v][2]});
+  }
+  for (int v = 0; v < n; ++v) {
+    const int w = (v + 1) % n;
+    for (int c = 0; c < k; ++c) s.add_clause({-color[v][c], -color[w][c]});
+  }
+  ASSERT_EQ(s.solve(), Result::kSat);
+  // Verify the model is a proper coloring.
+  for (int v = 0; v < n; ++v) {
+    const int w = (v + 1) % n;
+    for (int c = 0; c < k; ++c) {
+      EXPECT_FALSE(s.value(color[v][c]) && s.value(color[w][c]));
+    }
+  }
+}
+
+TEST(SatTest, ConflictLimitReturnsUnknown) {
+  // A hard instance with a conflict budget of 1.
+  const int pigeons = 8;
+  const int holes = 7;
+  Solver s;
+  std::vector<std::vector<int>> at(pigeons, std::vector<int>(holes));
+  for (auto& row : at) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(at[p][h]);
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.add_clause({-at[p1][h], -at[p2][h]});
+      }
+    }
+  }
+  Limits limits;
+  limits.max_conflicts = 1;
+  EXPECT_EQ(s.solve(limits), Result::kUnknown);
+}
+
+// Differential: random 3-CNF instances vs brute force.
+class RandomCnfTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCnfTest, MatchesBruteForce) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 77771);
+  const int vars = 8;
+  const int clauses = 3 + static_cast<int>(rng.next_below(40));
+
+  std::vector<std::vector<Lit>> formula;
+  for (int i = 0; i < clauses; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < 3; ++j) {
+      const int v = 1 + static_cast<int>(rng.next_below(vars));
+      clause.push_back(rng.next_chance(1, 2) ? v : -v);
+    }
+    formula.push_back(clause);
+  }
+
+  // Brute force.
+  bool brute_sat = false;
+  for (std::uint32_t assignment = 0; assignment < (1u << vars); ++assignment) {
+    bool all = true;
+    for (const auto& clause : formula) {
+      bool any = false;
+      for (const Lit l : clause) {
+        const int v = l > 0 ? l : -l;
+        const bool val = (assignment >> (v - 1)) & 1u;
+        if ((l > 0) == val) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      brute_sat = true;
+      break;
+    }
+  }
+
+  Solver s;
+  for (int v = 0; v < vars; ++v) s.new_var();
+  for (const auto& clause : formula) s.add_clause(clause);
+  const Result got = s.solve();
+  EXPECT_EQ(got, brute_sat ? Result::kSat : Result::kUnsat)
+      << "seed " << GetParam();
+  if (got == Result::kSat) {
+    // The model must satisfy the formula.
+    for (const auto& clause : formula) {
+      bool any = false;
+      for (const Lit l : clause) {
+        if (s.lit_value(l)) {
+          any = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnfTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace esv::formal::sat

@@ -1,0 +1,64 @@
+// Tests for the checker's witness-trace ring buffer.
+#include <gtest/gtest.h>
+
+#include "sctc/checker.hpp"
+
+namespace esv::sctc {
+namespace {
+
+TEST(WitnessTest, DisabledByDefault) {
+  sim::Simulation sim;
+  TemporalChecker checker(sim, "sctc");
+  checker.register_proposition("a", [] { return true; });
+  checker.add_property("p", "G a");
+  checker.step_all();
+  EXPECT_TRUE(checker.witness().empty());
+  EXPECT_NE(checker.witness_table().find("no witness"), std::string::npos);
+}
+
+TEST(WitnessTest, RingBufferKeepsLastN) {
+  sim::Simulation sim;
+  TemporalChecker checker(sim, "sctc");
+  int x = 0;
+  checker.register_proposition("small", [&x] { return x < 3; });
+  checker.add_property("p", "G small");
+  checker.set_witness_depth(3);
+  for (x = 0; x < 6; ++x) checker.step_all();
+  ASSERT_EQ(checker.witness().size(), 3u);
+  EXPECT_EQ(checker.witness()[0].step, 4u);
+  EXPECT_EQ(checker.witness()[2].step, 6u);
+  // Values captured per step: small was false from x==3 on.
+  EXPECT_FALSE(checker.witness()[2].values[0]);
+}
+
+TEST(WitnessTest, TableShowsPropositionRows) {
+  sim::Simulation sim;
+  TemporalChecker checker(sim, "sctc");
+  int x = 0;
+  checker.register_proposition("low", [&x] { return x < 2; });
+  checker.register_proposition("high", [&x] { return x >= 2; });
+  checker.add_property("p", "G (low || high)");
+  checker.set_witness_depth(4);
+  for (x = 0; x < 4; ++x) checker.step_all();
+  const std::string table = checker.witness_table();
+  EXPECT_NE(table.find("step: 1 2 3 4"), std::string::npos);
+  EXPECT_NE(table.find("low: 1 1 . ."), std::string::npos);
+  EXPECT_NE(table.find("high: . . 1 1"), std::string::npos);
+}
+
+TEST(WitnessTest, CapturesStepsLeadingIntoViolation) {
+  sim::Simulation sim;
+  TemporalChecker checker(sim, "sctc");
+  int x = 0;
+  checker.register_proposition("ok", [&x] { return x != 5; });
+  checker.add_property("p", "G ok");
+  checker.set_witness_depth(2);
+  for (x = 0; x < 8 && !checker.any_violated(); ++x) checker.step_all();
+  ASSERT_EQ(checker.witness().size(), 2u);
+  // The last recorded step is the violating one (ok false).
+  EXPECT_FALSE(checker.witness().back().values[0]);
+  EXPECT_TRUE(checker.witness().front().values[0]);
+}
+
+}  // namespace
+}  // namespace esv::sctc

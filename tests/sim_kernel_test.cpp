@@ -1,0 +1,313 @@
+// Tests for the discrete-event kernel: process scheduling, event notification
+// rules, delta-cycle semantics, and time advance.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace esv::sim {
+namespace {
+
+TEST(TimeTest, UnitsAndArithmetic) {
+  EXPECT_EQ(Time::ns(1).picoseconds(), 1000u);
+  EXPECT_EQ(Time::us(2).picoseconds(), 2000000u);
+  EXPECT_EQ((Time::ns(3) + Time::ns(4)).picoseconds(), 7000u);
+  EXPECT_EQ((Time::ns(4) - Time::ns(3)).picoseconds(), 1000u);
+  EXPECT_EQ((Time::ns(3) * 4).picoseconds(), 12000u);
+  EXPECT_LT(Time::ns(1), Time::us(1));
+  EXPECT_TRUE(Time::zero().is_zero());
+}
+
+TEST(TimeTest, ToStringPicksLargestUnit) {
+  EXPECT_EQ(Time::ns(12).to_string(), "12 ns");
+  EXPECT_EQ(Time::ps(1500).to_string(), "1500 ps");
+  EXPECT_EQ(Time::ms(1).to_string(), "1 ms");
+  EXPECT_EQ(Time::zero().to_string(), "0 s");
+}
+
+TEST(KernelTest, ThreadRunsAtTimeZero) {
+  Simulation sim;
+  bool ran = false;
+  sim.spawn("t", [](Simulation&, bool& flag) -> Task {
+    flag = true;
+    co_return;
+  }(sim, ran));
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), Time::zero());
+}
+
+TEST(KernelTest, DelayAdvancesTime) {
+  Simulation sim;
+  std::vector<std::uint64_t> stamps;
+  sim.spawn("t", [](Simulation& s, std::vector<std::uint64_t>& out) -> Task {
+    out.push_back(s.now().picoseconds());
+    co_await s.delay(Time::ns(5));
+    out.push_back(s.now().picoseconds());
+    co_await s.delay(Time::ns(7));
+    out.push_back(s.now().picoseconds());
+  }(sim, stamps));
+  sim.run();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_EQ(stamps[0], 0u);
+  EXPECT_EQ(stamps[1], 5000u);
+  EXPECT_EQ(stamps[2], 12000u);
+  EXPECT_EQ(sim.now(), Time::ns(12));
+}
+
+TEST(KernelTest, RunUntilStopsEarly) {
+  Simulation sim;
+  int wakeups = 0;
+  sim.spawn("t", [](Simulation& s, int& n) -> Task {
+    for (;;) {
+      co_await s.delay(Time::ns(10));
+      ++n;
+    }
+  }(sim, wakeups));
+  sim.run(Time::ns(35));
+  EXPECT_EQ(wakeups, 3);
+  EXPECT_EQ(sim.now(), Time::ns(35));
+  // Resuming continues from where we stopped.
+  sim.run(Time::ns(70));
+  EXPECT_EQ(wakeups, 7);
+}
+
+TEST(KernelTest, TimedEventWakesWaiter) {
+  Simulation sim;
+  Event ev(sim, "ev");
+  std::uint64_t woke_at = 0;
+  sim.spawn("waiter", [](Simulation& s, Event& e, std::uint64_t& at) -> Task {
+    co_await e;
+    at = s.now().picoseconds();
+  }(sim, ev, woke_at));
+  sim.spawn("notifier", [](Simulation& s, Event& e) -> Task {
+    co_await s.delay(Time::ns(3));
+    e.notify(Time::ns(2));
+    co_return;
+  }(sim, ev));
+  sim.run();
+  EXPECT_EQ(woke_at, 5000u);
+}
+
+TEST(KernelTest, ImmediateNotifyWakesInSameEvaluatePhase) {
+  Simulation sim;
+  Event ev(sim, "ev");
+  std::vector<std::string> order;
+  sim.spawn("waiter", [](Event& e, std::vector<std::string>& log) -> Task {
+    co_await e;
+    log.push_back("woken");
+  }(ev, order));
+  sim.spawn("notifier", [](Simulation& s, Event& e,
+                           std::vector<std::string>& log) -> Task {
+    co_await s.next_delta();  // make sure the waiter is registered first
+    log.push_back("notify");
+    e.notify();
+    log.push_back("after-notify");
+    co_return;
+  }(sim, ev, order));
+  sim.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "notify");
+  EXPECT_EQ(order[1], "after-notify");  // notifier keeps running first
+  EXPECT_EQ(order[2], "woken");
+}
+
+TEST(KernelTest, DeltaNotifyWakesInNextDeltaCycle) {
+  Simulation sim;
+  Event ev(sim, "ev");
+  std::uint64_t delta_at_wake = 0;
+  sim.spawn("waiter", [](Simulation& s, Event& e, std::uint64_t& d) -> Task {
+    co_await e;
+    d = s.delta_count();
+  }(sim, ev, delta_at_wake));
+  sim.spawn("notifier", [](Event& e) -> Task {
+    e.notify_delta();
+    co_return;
+  }(ev));
+  sim.run();
+  EXPECT_EQ(sim.now(), Time::zero());  // no time passed
+  EXPECT_GE(delta_at_wake, 2u);        // but a delta boundary did
+}
+
+TEST(KernelTest, EarlierTimedNotificationOverridesLater) {
+  Simulation sim;
+  Event ev(sim, "ev");
+  std::uint64_t woke_at = 0;
+  int wakes = 0;
+  sim.spawn("waiter",
+            [](Simulation& s, Event& e, std::uint64_t& at, int& n) -> Task {
+              co_await e;
+              at = s.now().picoseconds();
+              ++n;
+            }(sim, ev, woke_at, wakes));
+  sim.spawn("notifier", [](Event& e) -> Task {
+    e.notify(Time::ns(10));
+    e.notify(Time::ns(4));  // earlier: overrides the 10 ns one
+    co_return;
+  }(ev));
+  sim.run();
+  EXPECT_EQ(wakes, 1);
+  EXPECT_EQ(woke_at, 4000u);
+}
+
+TEST(KernelTest, LaterTimedNotificationIsDiscarded) {
+  Simulation sim;
+  Event ev(sim, "ev");
+  int wakes = 0;
+  sim.spawn("waiter", [](Event& e, int& n) -> Task {
+    for (;;) {
+      co_await e;
+      ++n;
+    }
+  }(ev, wakes));
+  sim.spawn("notifier", [](Event& e) -> Task {
+    e.notify(Time::ns(4));
+    e.notify(Time::ns(10));  // later: discarded
+    co_return;
+  }(ev));
+  sim.run();
+  EXPECT_EQ(wakes, 1);
+  EXPECT_EQ(sim.now(), Time::ns(4));
+}
+
+TEST(KernelTest, CancelSuppressesPendingNotification) {
+  Simulation sim;
+  Event ev(sim, "ev");
+  int wakes = 0;
+  sim.spawn("waiter", [](Event& e, int& n) -> Task {
+    co_await e;
+    ++n;
+  }(ev, wakes));
+  sim.spawn("notifier", [](Simulation& s, Event& e) -> Task {
+    e.notify(Time::ns(5));
+    co_await s.delay(Time::ns(1));
+    e.cancel();
+    co_return;
+  }(sim, ev));
+  sim.run();
+  EXPECT_EQ(wakes, 0);
+}
+
+TEST(KernelTest, AnyOfWakesOnFirstEventOnly) {
+  Simulation sim;
+  Event a(sim, "a");
+  Event b(sim, "b");
+  int wakes = 0;
+  sim.spawn("waiter", [](Event& ea, Event& eb, int& n) -> Task {
+    co_await any_of(ea, eb);
+    ++n;
+    co_await any_of(ea, eb);
+    ++n;
+  }(a, b, wakes));
+  sim.spawn("notifier", [](Simulation& s, Event& ea, Event& eb) -> Task {
+    co_await s.delay(Time::ns(1));
+    ea.notify();  // first wake
+    co_await s.delay(Time::ns(1));
+    eb.notify();  // second wake; the stale registration on `a` must not fire
+    co_return;
+  }(sim, a, b));
+  sim.run();
+  EXPECT_EQ(wakes, 2);
+}
+
+TEST(KernelTest, MethodProcessRunsOnSensitivity) {
+  Simulation sim;
+  Event ev(sim, "ev");
+  int runs = 0;
+  sim.create_method("m", [&runs] { ++runs; }, {&ev}, /*run_at_start=*/false);
+  sim.spawn("notifier", [](Simulation& s, Event& e) -> Task {
+    for (int i = 0; i < 3; ++i) {
+      co_await s.delay(Time::ns(1));
+      e.notify();
+    }
+  }(sim, ev));
+  sim.run();
+  EXPECT_EQ(runs, 3);
+}
+
+TEST(KernelTest, MethodRunsAtStartByDefault) {
+  Simulation sim;
+  Event ev(sim, "ev");
+  int runs = 0;
+  sim.create_method("m", [&runs] { ++runs; }, {&ev});
+  sim.run();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(KernelTest, StopEndsRun) {
+  Simulation sim;
+  int wakeups = 0;
+  sim.spawn("t", [](Simulation& s, int& n) -> Task {
+    for (;;) {
+      co_await s.delay(Time::ns(1));
+      if (++n == 5) s.stop();
+    }
+  }(sim, wakeups));
+  sim.run();
+  EXPECT_EQ(wakeups, 5);
+  EXPECT_TRUE(sim.stop_requested());
+}
+
+TEST(KernelTest, ProcessExceptionPropagatesFromRun) {
+  Simulation sim;
+  sim.spawn("t", [](Simulation& s) -> Task {
+    co_await s.delay(Time::ns(1));
+    throw std::runtime_error("boom");
+  }(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(KernelTest, TwoProcessesPingPong) {
+  Simulation sim;
+  Event ping(sim, "ping");
+  Event pong(sim, "pong");
+  std::vector<int> log;
+  sim.spawn("a", [](Simulation& s, Event& out, Event& in,
+                    std::vector<int>& l) -> Task {
+    for (int i = 0; i < 3; ++i) {
+      co_await s.delay(Time::ns(1));
+      l.push_back(1);
+      out.notify_delta();
+      co_await in;
+    }
+  }(sim, ping, pong, log));
+  sim.spawn("b", [](Event& in, Event& out, std::vector<int>& l) -> Task {
+    for (int i = 0; i < 3; ++i) {
+      co_await in;
+      l.push_back(2);
+      out.notify_delta();
+    }
+  }(ping, pong, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(log[i], i % 2 == 0 ? 1 : 2);
+}
+
+TEST(KernelTest, SimulationEndsWhenNoEventsRemain) {
+  Simulation sim;
+  sim.spawn("t", [](Simulation& s) -> Task {
+    co_await s.delay(Time::ns(100));
+  }(sim));
+  const Time end = sim.run();
+  EXPECT_EQ(end, Time::ns(100));
+}
+
+TEST(KernelTest, SpawnManyProcessesDeterministicOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.spawn("p" + std::to_string(i), [](int id, std::vector<int>& l) -> Task {
+      l.push_back(id);
+      co_return;
+    }(i, order));
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+}  // namespace
+}  // namespace esv::sim

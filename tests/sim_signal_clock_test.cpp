@@ -1,0 +1,139 @@
+// Tests for Signal<T> evaluate/update semantics and the Clock generator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/kernel.hpp"
+#include "sim/signal.hpp"
+
+namespace esv::sim {
+namespace {
+
+TEST(SignalTest, WriteCommitsAtUpdatePhase) {
+  Simulation sim;
+  Signal<int> sig(sim, "sig", 0);
+  std::vector<int> observed;
+  sim.spawn("writer", [](Simulation& s, Signal<int>& sg,
+                         std::vector<int>& out) -> Task {
+    sg.write(7);
+    out.push_back(sg.read());  // still old value in the same evaluate phase
+    co_await s.next_delta();
+    out.push_back(sg.read());  // committed after the update phase
+  }(sim, sig, observed));
+  sim.run();
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], 0);
+  EXPECT_EQ(observed[1], 7);
+}
+
+TEST(SignalTest, ValueChangedFiresOnlyOnRealChange) {
+  Simulation sim;
+  Signal<int> sig(sim, "sig", 5);
+  int changes = 0;
+  sim.create_method("watch", [&changes] { ++changes; },
+                    {&sig.value_changed_event()}, /*run_at_start=*/false);
+  sim.spawn("writer", [](Simulation& s, Signal<int>& sg) -> Task {
+    sg.write(5);  // same value: no event
+    co_await s.delay(Time::ns(1));
+    sg.write(6);  // change: event
+    co_await s.delay(Time::ns(1));
+    sg.write(6);  // same again: no event
+    co_await s.delay(Time::ns(1));
+    sg.write(7);  // change: event
+  }(sim, sig));
+  sim.run();
+  EXPECT_EQ(changes, 2);
+}
+
+TEST(SignalTest, LastWriteInDeltaWins) {
+  Simulation sim;
+  Signal<int> sig(sim, "sig", 0);
+  sim.spawn("writer", [](Signal<int>& sg) -> Task {
+    sg.write(1);
+    sg.write(2);
+    sg.write(3);
+    co_return;
+  }(sig));
+  sim.run();
+  EXPECT_EQ(sig.read(), 3);
+}
+
+TEST(ClockTest, PosedgeCountMatchesElapsedTime) {
+  Simulation sim;
+  Clock clk(sim, "clk", Time::ns(10));
+  sim.run(Time::ns(100));
+  // First posedge at 10 ns, then every 10 ns: 10, 20, ..., 100.
+  EXPECT_EQ(clk.cycles(), 10u);
+}
+
+TEST(ClockTest, PosedgeEventTriggersWaiters) {
+  Simulation sim;
+  Clock clk(sim, "clk", Time::ns(10));
+  std::vector<std::uint64_t> stamps;
+  sim.spawn("waiter", [](Simulation& s, Clock& c,
+                         std::vector<std::uint64_t>& out) -> Task {
+    for (int i = 0; i < 3; ++i) {
+      co_await c.posedge_event();
+      out.push_back(s.now().picoseconds());
+    }
+  }(sim, clk, stamps));
+  sim.run(Time::ns(100));
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_EQ(stamps[0], 10000u);
+  EXPECT_EQ(stamps[1], 20000u);
+  EXPECT_EQ(stamps[2], 30000u);
+}
+
+TEST(ClockTest, ValueTogglesBetweenEdges) {
+  Simulation sim;
+  Clock clk(sim, "clk", Time::ns(10));
+  bool at_posedge = false;
+  bool at_negedge = true;
+  sim.spawn("watch", [](Clock& c, bool& pos, bool& neg) -> Task {
+    co_await c.posedge_event();
+    pos = c.value();
+    co_await c.negedge_event();
+    neg = c.value();
+  }(clk, at_posedge, at_negedge));
+  sim.run(Time::ns(30));
+  EXPECT_TRUE(at_posedge);
+  EXPECT_FALSE(at_negedge);
+}
+
+TEST(ClockTest, CustomFirstEdge) {
+  Simulation sim;
+  Clock clk(sim, "clk", Time::ns(10), Time::ns(3));
+  std::uint64_t first = 0;
+  sim.spawn("watch", [](Simulation& s, Clock& c, std::uint64_t& t) -> Task {
+    co_await c.posedge_event();
+    t = s.now().picoseconds();
+  }(sim, clk, first));
+  sim.run(Time::ns(30));
+  EXPECT_EQ(first, 3000u);
+}
+
+TEST(ClockTest, ZeroPeriodRejected) {
+  Simulation sim;
+  EXPECT_THROW(Clock(sim, "bad", Time::zero()), std::invalid_argument);
+}
+
+TEST(ClockTest, NegedgeBetweenPosedges) {
+  Simulation sim;
+  Clock clk(sim, "clk", Time::ns(10));
+  std::vector<std::uint64_t> neg_stamps;
+  sim.spawn("watch", [](Simulation& s, Clock& c,
+                        std::vector<std::uint64_t>& out) -> Task {
+    for (int i = 0; i < 2; ++i) {
+      co_await c.negedge_event();
+      out.push_back(s.now().picoseconds());
+    }
+  }(sim, clk, neg_stamps));
+  sim.run(Time::ns(40));
+  ASSERT_EQ(neg_stamps.size(), 2u);
+  EXPECT_EQ(neg_stamps[0], 15000u);
+  EXPECT_EQ(neg_stamps[1], 25000u);
+}
+
+}  // namespace
+}  // namespace esv::sim

@@ -1,0 +1,111 @@
+// Tests for the VCD tracer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/clock.hpp"
+#include "sim/vcd.hpp"
+
+namespace esv::sim {
+namespace {
+
+TEST(VcdTest, HeaderDeclaresProbes) {
+  Simulation sim;
+  VcdTracer vcd(sim);
+  bool flag = false;
+  std::uint32_t word = 0;
+  vcd.add_bool("flag", [&] { return flag; });
+  vcd.add_u32("word", [&] { return word; });
+  vcd.sample();
+  const std::string out = vcd.str();
+  EXPECT_NE(out.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 ! flag $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 32 \" word $end"), std::string::npos);
+  EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(VcdTest, EmitsOnlyChanges) {
+  Simulation sim;
+  VcdTracer vcd(sim);
+  std::uint32_t value = 5;
+  vcd.add_u32("v", [&] { return value; });
+  vcd.sample();        // initial: emitted
+  vcd.sample();        // unchanged: nothing
+  value = 6;
+  vcd.sample();        // change: emitted
+  const std::string out = vcd.str();
+  EXPECT_NE(out.find("b101 !"), std::string::npos);
+  EXPECT_NE(out.find("b110 !"), std::string::npos);
+  // Exactly two value lines for this probe.
+  std::size_t count = 0;
+  for (std::size_t pos = out.find("b1"); pos != std::string::npos;
+       pos = out.find("b1", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(VcdTest, TimestampsFollowSimulationTime) {
+  Simulation sim;
+  Clock clk(sim, "clk", Time::ns(10));
+  VcdTracer vcd(sim);
+  vcd.add_bool("clk", [&] { return clk.value(); });
+  vcd.add_u32("cycles", [&] {
+    return static_cast<std::uint32_t>(clk.cycles());
+  });
+  vcd.sample_on(clk.posedge_event());
+  sim.run(Time::ns(50));
+  const std::string out = vcd.str();
+  EXPECT_EQ(vcd.samples(), 5u);
+  EXPECT_NE(out.find("#10000"), std::string::npos);  // 10 ns in ps
+  EXPECT_NE(out.find("#50000"), std::string::npos);
+  EXPECT_NE(out.find("1!"), std::string::npos);      // clk high at posedge
+}
+
+TEST(VcdTest, BoolValueChanges) {
+  Simulation sim;
+  VcdTracer vcd(sim);
+  bool b = false;
+  vcd.add_bool("b", [&] { return b; });
+  vcd.sample();
+  b = true;
+  vcd.sample();
+  b = false;
+  vcd.sample();
+  const std::string out = vcd.str();
+  EXPECT_NE(out.find("0!"), std::string::npos);
+  EXPECT_NE(out.find("1!"), std::string::npos);
+}
+
+TEST(VcdTest, AddAfterSampleRejected) {
+  Simulation sim;
+  VcdTracer vcd(sim);
+  vcd.add_bool("a", [] { return true; });
+  vcd.sample();
+  EXPECT_THROW(vcd.add_bool("b", [] { return false; }), std::logic_error);
+}
+
+TEST(VcdTest, IdentifierCodesAreUniqueForManyProbes) {
+  Simulation sim;
+  VcdTracer vcd(sim);
+  for (int i = 0; i < 200; ++i) {
+    vcd.add_bool("p" + std::to_string(i), [] { return false; });
+  }
+  vcd.sample();
+  const std::string out = vcd.str();
+  // 200 probes all declared; spot-check the two-character code region
+  // (index 94 encodes as "!\"" in base-94 with the low digit first).
+  EXPECT_NE(out.find("$var wire 1 !\" p94 $end"), std::string::npos);
+  // All identifier codes are distinct.
+  std::set<std::string> ids;
+  std::size_t pos = 0;
+  while ((pos = out.find("$var wire 1 ", pos)) != std::string::npos) {
+    pos += 12;
+    const std::size_t space = out.find(' ', pos);
+    ids.insert(out.substr(pos, space - pos));
+  }
+  EXPECT_EQ(ids.size(), 200u);
+}
+
+}  // namespace
+}  // namespace esv::sim

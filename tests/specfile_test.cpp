@@ -1,0 +1,121 @@
+// Tests for the ESV spec-file parser and its binding to programs.
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hpp"
+#include "minic/sema.hpp"
+#include "spec/specfile.hpp"
+
+namespace esv::spec {
+namespace {
+
+TEST(SpecParseTest, FullFile) {
+  const SpecFile spec = parse_spec(R"(
+# a comment
+input op 0 6
+input fault chance 1 100
+
+prop ready = state == 0
+prop big   = counter >= 0x10
+check inv: G ready
+check resp psl: always (ready -> eventually! big)
+check plain fltl: F big
+)");
+  ASSERT_EQ(spec.inputs.size(), 2u);
+  EXPECT_EQ(spec.inputs[0].name, "op");
+  EXPECT_EQ(spec.inputs[0].hi, 6);
+  EXPECT_TRUE(spec.inputs[1].is_chance);
+  EXPECT_EQ(spec.inputs[1].lo, 1);
+  EXPECT_EQ(spec.inputs[1].hi, 100);
+
+  ASSERT_EQ(spec.propositions.size(), 2u);
+  EXPECT_EQ(spec.propositions[0].name, "ready");
+  EXPECT_EQ(spec.propositions[0].op, sctc::Compare::kEq);
+  EXPECT_EQ(spec.propositions[1].op, sctc::Compare::kGe);
+  EXPECT_EQ(spec.propositions[1].value_text, "0x10");
+
+  ASSERT_EQ(spec.properties.size(), 3u);
+  EXPECT_EQ(spec.properties[0].text, "G ready");
+  EXPECT_EQ(spec.properties[1].dialect, temporal::Dialect::kPsl);
+  EXPECT_EQ(spec.properties[2].dialect, temporal::Dialect::kFltl);
+}
+
+TEST(SpecParseTest, Errors) {
+  EXPECT_THROW(parse_spec("bogus directive"), SpecError);
+  EXPECT_THROW(parse_spec("prop x state == 0"), SpecError);  // missing '='
+  EXPECT_THROW(parse_spec("prop x = state ~~ 0"), SpecError);
+  EXPECT_THROW(parse_spec("input x 1"), SpecError);
+  EXPECT_THROW(parse_spec("input x 1 z"), SpecError);
+  EXPECT_THROW(parse_spec("check noprop G x"), SpecError);  // missing ':'
+  EXPECT_THROW(parse_spec("check p:"), SpecError);          // empty property
+  EXPECT_THROW(parse_spec("check p weird: G x"), SpecError);
+  // Error messages carry the line number.
+  try {
+    parse_spec("\n\nbogus");
+    FAIL();
+  } catch (const SpecError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+class ApplyTest : public ::testing::Test {
+ protected:
+  ApplyTest()
+      : program(minic::compile(R"(
+          enum { READY = 0, RUN = 7 };
+          int state;
+          int counter;
+          void work(void) { counter = counter + 1; }
+          void main(void) { state = RUN; work(); state = READY; }
+        )")),
+        memory(0x2000),
+        checker(sim, "sctc") {}
+
+  minic::Program program;
+  mem::AddressSpace memory;
+  sim::Simulation sim;
+  sctc::TemporalChecker checker;
+};
+
+TEST_F(ApplyTest, ResolvesEnumsAndFunctions) {
+  const SpecFile spec = parse_spec(R"(
+prop running  = state == RUN
+prop in_work  = fname == work
+check sees_run: F running
+check sees_work: F in_work
+)");
+  apply_spec(spec, program, memory, checker);
+  EXPECT_EQ(checker.properties().size(), 2u);
+
+  // Drive the memory by hand and confirm the propositions read it.
+  memory.write_word(program.find_global("state")->address, 7);
+  checker.step_all();
+  EXPECT_EQ(checker.properties()[0].verdict(),
+            temporal::Verdict::kValidated);
+  memory.write_word(program.fname_address, program.fname_id("work"));
+  checker.step_all();
+  EXPECT_EQ(checker.properties()[1].verdict(),
+            temporal::Verdict::kValidated);
+}
+
+TEST_F(ApplyTest, RejectsUnknownNames) {
+  EXPECT_THROW(apply_spec(parse_spec("prop x = missing == 0"), program,
+                          memory, checker),
+               SpecError);
+  EXPECT_THROW(apply_spec(parse_spec("prop x = state == NO_SUCH_CONST"),
+                          program, memory, checker),
+               SpecError);
+  EXPECT_THROW(apply_spec(parse_spec("prop x = fname == no_such_function"),
+                          program, memory, checker),
+               SpecError);
+  // A malformed property reports the spec line, not just the parse error.
+  try {
+    apply_spec(parse_spec("prop ok = state == 0\ncheck bad: G (ok &&"),
+               program, memory, checker);
+    FAIL();
+  } catch (const SpecError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace esv::spec

@@ -1,0 +1,219 @@
+// Tests for formula construction, hash-consing, simplification, and
+// progression.
+#include <gtest/gtest.h>
+
+#include "temporal/formula.hpp"
+
+namespace esv::temporal {
+namespace {
+
+class FormulaTest : public ::testing::Test {
+ protected:
+  FormulaFactory f;
+};
+
+TEST_F(FormulaTest, HashConsingReturnsSamePointer) {
+  FormulaRef a1 = f.prop("a");
+  FormulaRef a2 = f.prop("a");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(f.and_(a1, f.prop("b")), f.and_(f.prop("b"), a2));
+  EXPECT_EQ(f.eventually(a1, 5), f.eventually(a2, 5));
+  EXPECT_NE(f.eventually(a1, 5), f.eventually(a1, 6));
+  EXPECT_NE(f.eventually(a1, 5), f.eventually(a1));
+}
+
+TEST_F(FormulaTest, PropIndicesAreStable) {
+  FormulaRef a = f.prop("a");
+  FormulaRef b = f.prop("b");
+  EXPECT_EQ(a->prop_index(), 0);
+  EXPECT_EQ(b->prop_index(), 1);
+  EXPECT_EQ(f.prop("a")->prop_index(), 0);
+  EXPECT_EQ(f.prop_name(1), "b");
+  EXPECT_EQ(f.prop_count(), 2);
+}
+
+TEST_F(FormulaTest, ConstantFolding) {
+  FormulaRef a = f.prop("a");
+  EXPECT_EQ(f.not_(f.constant(true)), f.constant(false));
+  EXPECT_EQ(f.not_(f.not_(a)), a);
+  EXPECT_EQ(f.and_(a, f.constant(false)), f.constant(false));
+  EXPECT_EQ(f.and_(a, f.constant(true)), a);
+  EXPECT_EQ(f.or_(a, f.constant(true)), f.constant(true));
+  EXPECT_EQ(f.or_(a, f.constant(false)), a);
+}
+
+TEST_F(FormulaTest, AndOrCanonicalization) {
+  FormulaRef a = f.prop("a");
+  FormulaRef b = f.prop("b");
+  FormulaRef c = f.prop("c");
+  // Flattening: (a && b) && c == a && (b && c).
+  EXPECT_EQ(f.and_(f.and_(a, b), c), f.and_(a, f.and_(b, c)));
+  // Idempotence.
+  EXPECT_EQ(f.and_(a, a), a);
+  EXPECT_EQ(f.or_(b, b), b);
+  // Complement.
+  EXPECT_EQ(f.and_(a, f.not_(a)), f.constant(false));
+  EXPECT_EQ(f.or_(a, f.not_(a)), f.constant(true));
+}
+
+TEST_F(FormulaTest, TemporalSimplifications) {
+  FormulaRef a = f.prop("a");
+  EXPECT_EQ(f.eventually(f.constant(true)), f.constant(true));
+  EXPECT_EQ(f.always(f.constant(false)), f.constant(false));
+  EXPECT_EQ(f.eventually(a, 0), a);  // F[0] a == a
+  EXPECT_EQ(f.always(a, 0), a);      // G[0] a == a
+  EXPECT_EQ(f.eventually(f.eventually(a)), f.eventually(a));
+  EXPECT_EQ(f.always(f.always(a)), f.always(a));
+  EXPECT_EQ(f.next(a, 0), a);
+  // X X a == X[2] a.
+  EXPECT_EQ(f.next(f.next(a)), f.next(a, 2));
+}
+
+TEST_F(FormulaTest, UntilReleaseSimplifications) {
+  FormulaRef a = f.prop("a");
+  FormulaRef b = f.prop("b");
+  EXPECT_EQ(f.until(a, f.constant(true)), f.constant(true));
+  EXPECT_EQ(f.until(a, f.constant(false)), f.constant(false));
+  EXPECT_EQ(f.until(f.constant(true), b), f.eventually(b));
+  EXPECT_EQ(f.until(f.constant(false), b), b);
+  EXPECT_EQ(f.release(f.constant(false), b), f.always(b));
+  EXPECT_EQ(f.release(f.constant(true), b), b);
+  EXPECT_EQ(f.until(a, b, 0), b);
+}
+
+TEST_F(FormulaTest, ToStringRoundTrips) {
+  FormulaRef a = f.prop("req");
+  FormulaRef b = f.prop("ack");
+  FormulaRef prop = f.always(f.implies(a, f.eventually(b, 10)));
+  // Disjuncts print in canonical (creation-id) order: F[10] ack was interned
+  // before !req.
+  EXPECT_EQ(prop->to_string(), "G (F[10] ack || !req)");
+  EXPECT_EQ(f.until(a, b)->to_string(), "req U ack");
+  EXPECT_EQ(f.next(a, 3)->to_string(), "X[3] req");
+}
+
+// --- Progression -----------------------------------------------------------
+
+PropValuation val(std::initializer_list<std::pair<int, bool>> assignments) {
+  std::vector<std::pair<int, bool>> v(assignments);
+  return [v](int index) {
+    for (const auto& [idx, value] : v) {
+      if (idx == index) return value;
+    }
+    return false;
+  };
+}
+
+TEST_F(FormulaTest, ProgressProposition) {
+  FormulaRef a = f.prop("a");  // index 0
+  EXPECT_EQ(f.progress(a, val({{0, true}})), f.constant(true));
+  EXPECT_EQ(f.progress(a, val({{0, false}})), f.constant(false));
+}
+
+TEST_F(FormulaTest, ProgressNextPeelsOneStep) {
+  FormulaRef a = f.prop("a");
+  FormulaRef x2 = f.next(a, 2);
+  FormulaRef after1 = f.progress(x2, val({}));
+  EXPECT_EQ(after1, f.next(a, 1));
+  FormulaRef after2 = f.progress(after1, val({}));
+  EXPECT_EQ(after2, a);
+}
+
+TEST_F(FormulaTest, ProgressBoundedEventuallyCountsDown) {
+  FormulaRef a = f.prop("a");  // index 0
+  FormulaRef g = f.eventually(a, 2);
+  // a false: F[2] a -> F[1] a -> F[0] a == a -> false.
+  FormulaRef s1 = f.progress(g, val({{0, false}}));
+  EXPECT_EQ(s1, f.eventually(a, 1));
+  FormulaRef s2 = f.progress(s1, val({{0, false}}));
+  EXPECT_EQ(s2, a);
+  FormulaRef s3 = f.progress(s2, val({{0, false}}));
+  EXPECT_EQ(s3, f.constant(false));
+  // a true at any point: validated immediately.
+  EXPECT_EQ(f.progress(g, val({{0, true}})), f.constant(true));
+}
+
+TEST_F(FormulaTest, ProgressBoundedAlwaysCountsDown) {
+  FormulaRef a = f.prop("a");
+  FormulaRef g = f.always(a, 2);
+  FormulaRef s1 = f.progress(g, val({{0, true}}));
+  EXPECT_EQ(s1, f.always(a, 1));
+  FormulaRef s2 = f.progress(s1, val({{0, true}}));
+  EXPECT_EQ(s2, a);
+  FormulaRef s3 = f.progress(s2, val({{0, true}}));
+  EXPECT_EQ(s3, f.constant(true));
+  EXPECT_EQ(f.progress(g, val({{0, false}})), f.constant(false));
+}
+
+TEST_F(FormulaTest, ProgressUnboundedAlwaysStaysPending) {
+  FormulaRef a = f.prop("a");
+  FormulaRef g = f.always(a);
+  EXPECT_EQ(f.progress(g, val({{0, true}})), g);
+  EXPECT_EQ(f.progress(g, val({{0, false}})), f.constant(false));
+}
+
+TEST_F(FormulaTest, ProgressUntil) {
+  FormulaRef a = f.prop("a");  // 0
+  FormulaRef b = f.prop("b");  // 1
+  FormulaRef u = f.until(a, b);
+  // b true: satisfied.
+  EXPECT_EQ(f.progress(u, val({{1, true}})), f.constant(true));
+  // a true, b false: still waiting.
+  EXPECT_EQ(f.progress(u, val({{0, true}})), u);
+  // both false: violated.
+  EXPECT_EQ(f.progress(u, val({})), f.constant(false));
+}
+
+TEST_F(FormulaTest, ProgressBoundedUntilExpires) {
+  FormulaRef a = f.prop("a");
+  FormulaRef b = f.prop("b");
+  FormulaRef u = f.until(a, b, 1);
+  FormulaRef s1 = f.progress(u, val({{0, true}}));
+  EXPECT_EQ(s1, b);  // U[0] collapses to b
+  EXPECT_EQ(f.progress(s1, val({{0, true}})), f.constant(false));
+}
+
+TEST_F(FormulaTest, HoldsOnEmptySemantics) {
+  FormulaRef a = f.prop("a");
+  EXPECT_TRUE(f.holds_on_empty(f.constant(true)));
+  EXPECT_FALSE(f.holds_on_empty(f.constant(false)));
+  EXPECT_FALSE(f.holds_on_empty(a));
+  EXPECT_FALSE(f.holds_on_empty(f.eventually(a)));
+  EXPECT_TRUE(f.holds_on_empty(f.always(a)));
+  EXPECT_FALSE(f.holds_on_empty(f.until(a, f.prop("b"))));
+  EXPECT_TRUE(f.holds_on_empty(f.release(a, f.prop("b"))));
+  EXPECT_TRUE(f.holds_on_empty(f.not_(f.eventually(a))));
+}
+
+TEST_F(FormulaTest, CollectPropNames) {
+  // Intern the propositions explicitly first: prop indices follow interning
+  // order, and C++ argument evaluation order is unspecified.
+  FormulaRef req = f.prop("req");
+  FormulaRef ack = f.prop("ack");
+  FormulaRef err = f.prop("err");
+  FormulaRef prop = f.always(f.implies(req, f.eventually(f.or_(ack, err), 5)));
+  const auto names = f.collect_prop_names(prop);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "req");
+  EXPECT_EQ(names[1], "ack");
+  EXPECT_EQ(names[2], "err");
+}
+
+TEST_F(FormulaTest, WeakUntilHoldsForever) {
+  FormulaRef a = f.prop("a");  // 0
+  FormulaRef b = f.prop("b");  // 1
+  FormulaRef w = f.weak_until(a, b);
+  // a true forever without b: stays pending (never violated).
+  FormulaRef cur = w;
+  for (int i = 0; i < 10; ++i) {
+    cur = f.progress(cur, val({{0, true}}));
+    EXPECT_FALSE(cur->is_constant());
+  }
+  // b releases the obligation.
+  EXPECT_EQ(f.progress(cur, val({{1, true}})), f.constant(true));
+  // neither a nor b: violated.
+  EXPECT_EQ(f.progress(w, val({})), f.constant(false));
+}
+
+}  // namespace
+}  // namespace esv::temporal

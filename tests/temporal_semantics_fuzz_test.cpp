@@ -1,0 +1,189 @@
+// Semantic fuzzing of the temporal core: a direct recursive evaluator of
+// FLTL's finite-trace semantics (one-step unfolding, with weak/strong
+// resolution at the end of the trace) is compared against the progression
+// monitor on randomly generated formulas and traces.
+//
+// The two implementations share nothing: the reference walks the original
+// formula over the trace; the monitor rewrites the obligation step by step
+// through the hash-consing factory (including the bound-subsumption
+// simplifications). Any divergence is a bug in one of them.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "temporal/monitor.hpp"
+
+namespace esv::temporal {
+namespace {
+
+using Trace = std::vector<std::vector<bool>>;  // trace[i][prop]
+
+/// Reference semantics, matching the library's documented convention
+/// exactly: positions 0..n-1 are trace states; position n is the empty
+/// suffix, evaluated by FormulaFactory::holds_on_empty (strong operators
+/// and literals fail, weak operators hold, with negation handled in NNF).
+/// Bounded windows reach the empty position exactly when the bound expires
+/// there (F[b] at i with i+b == n leaves the bare operand as the residual).
+/// `negated` pushes an enclosing negation inward (NNF-style), so that the
+/// end-of-trace resolution sees the same polarity the monitor's residual
+/// formula carries.
+bool ref_eval(const FormulaFactory& factory, FormulaRef f, const Trace& trace,
+              std::size_t i, bool negated) {
+  const std::size_t n = trace.size();
+  if (i >= n) return factory.holds_on_empty(f, negated);
+  switch (f->op()) {
+    case Op::kTrue: return !negated;
+    case Op::kFalse: return negated;
+    case Op::kProp: {
+      const bool v = trace[i][static_cast<std::size_t>(f->prop_index())];
+      return negated ? !v : v;
+    }
+    case Op::kNot:
+      return ref_eval(factory, f->operands()[0], trace, i, !negated);
+    case Op::kAnd:  // under negation: !(a&&b) == !a || !b
+      for (FormulaRef g : f->operands()) {
+        const bool v = ref_eval(factory, g, trace, i, negated);
+        if (negated && v) return true;
+        if (!negated && !v) return false;
+      }
+      return !negated;
+    case Op::kOr:
+      for (FormulaRef g : f->operands()) {
+        const bool v = ref_eval(factory, g, trace, i, negated);
+        if (negated && !v) return false;
+        if (!negated && v) return true;
+      }
+      return negated;
+    case Op::kNext: {
+      const std::uint32_t steps = f->bound().value();
+      // Beyond the empty position the residual is still an X: strong, so
+      // it fails (holds under negation).
+      if (i + steps > n) return negated;
+      return ref_eval(factory, f->operands()[0], trace, i + steps, negated);
+    }
+    case Op::kEventually:
+    case Op::kAlways: {
+      FormulaRef g = f->operands()[0];
+      // F is an exists-window; G a forall-window; negation swaps them and
+      // negates the child (!F g == G !g).
+      const bool exists = (f->op() == Op::kEventually) != negated;
+      const std::size_t last =
+          f->bound() ? std::min<std::size_t>(n, i + *f->bound()) : n - 1;
+      for (std::size_t j = i; j <= last && j < n; ++j) {
+        const bool v = ref_eval(factory, g, trace, j, negated);
+        if (exists && v) return true;
+        if (!exists && !v) return false;
+      }
+      // Window expiring exactly at the empty position leaves the bare
+      // operand as the residual (OP[0] g == g).
+      if (f->bound() && i + *f->bound() == n) {
+        return factory.holds_on_empty(g, negated);
+      }
+      // Residual stays an F (strong: fails) or a G (weak: holds).
+      return (f->op() == Op::kEventually) ? negated : !negated;
+    }
+    case Op::kUntil:
+    case Op::kRelease: {
+      FormulaRef a = f->operands()[0];
+      FormulaRef g = f->operands()[1];
+      // !(a U g) == !a R !g and vice versa.
+      const bool is_until = (f->op() == Op::kUntil) != negated;
+      const std::size_t last =
+          f->bound() ? std::min<std::size_t>(n, i + *f->bound()) : n - 1;
+      for (std::size_t j = i; j <= last && j < n; ++j) {
+        const bool gv = ref_eval(factory, g, trace, j, negated);
+        if (is_until && gv) return true;
+        if (!is_until && !gv) return false;
+        if (f->bound() && j == i + *f->bound()) {
+          return !is_until;  // window shut: until failed / release survived
+        }
+        const bool av = ref_eval(factory, a, trace, j, negated);
+        if (is_until && !av) return false;
+        if (!is_until && av) return true;
+      }
+      if (f->bound() && i + *f->bound() == n) {
+        return factory.holds_on_empty(g, negated);  // OP[0] g == g
+      }
+      return !is_until;  // residual U is strong, residual R weak
+    }
+  }
+  return false;
+}
+
+/// Random formula generator over `props` propositions.
+FormulaRef random_formula(FormulaFactory& f, common::Rng& rng, int props,
+                          int depth) {
+  if (depth == 0 || rng.next_chance(1, 4)) {
+    switch (rng.next_below(4)) {
+      case 0: return f.constant(rng.next_chance(1, 2));
+      default:
+        return f.prop("p" + std::to_string(rng.next_below(
+                                static_cast<std::uint64_t>(props))));
+    }
+  }
+  const auto sub = [&] { return random_formula(f, rng, props, depth - 1); };
+  const auto maybe_bound = [&]() -> std::optional<std::uint32_t> {
+    if (rng.next_chance(1, 2)) return std::nullopt;
+    return static_cast<std::uint32_t>(rng.next_below(6));
+  };
+  switch (rng.next_below(9)) {
+    case 0: return f.not_(sub());
+    case 1: return f.and_(sub(), sub());
+    case 2: return f.or_(sub(), sub());
+    case 3: return f.implies(sub(), sub());
+    case 4: return f.next(sub(), 1 + static_cast<std::uint32_t>(rng.next_below(3)));
+    case 5: return f.eventually(sub(), maybe_bound());
+    case 6: return f.always(sub(), maybe_bound());
+    case 7: return f.until(sub(), sub(), maybe_bound());
+    default: return f.release(sub(), sub(), maybe_bound());
+  }
+}
+
+class SemanticsFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemanticsFuzzTest, MonitorMatchesReferenceSemantics) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x5EED + 17);
+  const int props = 2;
+
+  for (int trial = 0; trial < 60; ++trial) {
+    FormulaFactory factory;
+    // Pre-intern propositions so indices are stable.
+    for (int p = 0; p < props; ++p) factory.prop("p" + std::to_string(p));
+    FormulaRef formula = random_formula(factory, rng, props, 3);
+
+    const std::size_t len = 1 + rng.next_below(10);
+    Trace trace(len, std::vector<bool>(props));
+    for (auto& step : trace) {
+      for (int p = 0; p < props; ++p) step[static_cast<std::size_t>(p)] = rng.next_chance(1, 2);
+    }
+
+    ProgressionMonitor monitor(factory, formula);
+    for (const auto& step : trace) {
+      monitor.step([&step](int index) {
+        return step[static_cast<std::size_t>(index)];
+      });
+      if (monitor.verdict() != Verdict::kPending) break;
+    }
+
+    const bool expected = ref_eval(factory, formula, trace, 0, false);
+    const Verdict final_verdict = monitor.verdict_at_end();
+    ASSERT_EQ(final_verdict,
+              expected ? Verdict::kValidated : Verdict::kViolated)
+        << "formula: " << formula->to_string() << "\ntrace length " << len
+        << " trial " << trial;
+
+    // A decided monitor must already agree with the reference (its early
+    // verdict covers every extension, in particular this one).
+    if (monitor.verdict() != Verdict::kPending) {
+      ASSERT_EQ(monitor.verdict(),
+                expected ? Verdict::kValidated : Verdict::kViolated)
+          << "early verdict diverges for " << formula->to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemanticsFuzzTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace esv::temporal

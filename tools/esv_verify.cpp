@@ -1,0 +1,213 @@
+// esv-verify — command-line front end for the library.
+//
+// Verifies temporal properties of a mini-C program under either of the
+// paper's approaches:
+//
+//   esv-verify program.c spec.esv [options]
+//
+//     --approach=1|2       microprocessor model | derived ESW model (default 2)
+//     --max-steps=N        statement/cycle budget (default 1,000,000)
+//     --seed=S             stimulus seed (default 1)
+//     --mode=progression|automaton   monitor mode (default progression)
+//     --vcd=FILE           dump a waveform of all propositions
+//     --witness=N          keep the last N steps as a violation witness
+//     --quiet              only print the final verdict table
+//
+// Exit code: 0 when no property is violated, 1 on violation, 2 on usage or
+// input errors.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "cpu/codegen.hpp"
+#include "cpu/cpu.hpp"
+#include "esw/esw_model.hpp"
+#include "minic/sema.hpp"
+#include "sim/vcd.hpp"
+#include "spec/specfile.hpp"
+#include "stimulus/random_inputs.hpp"
+
+namespace {
+
+using namespace esv;
+namespace sctc = esv::sctc;
+
+struct Options {
+  std::string program_path;
+  std::string spec_path;
+  int approach = 2;
+  std::uint64_t max_steps = 1'000'000;
+  std::uint64_t seed = 1;
+  sctc::MonitorMode mode = sctc::MonitorMode::kProgression;
+  std::string vcd_path;
+  std::size_t witness = 0;
+  bool quiet = false;
+};
+
+bool parse_args(int argc, char** argv, Options& options, std::string& error) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& prefix,
+                              std::string& out) {
+      if (arg.rfind(prefix, 0) != 0) return false;
+      out = arg.substr(prefix.size());
+      return true;
+    };
+    std::string value;
+    if (value_of("--approach=", value)) {
+      options.approach = std::stoi(value);
+      if (options.approach != 1 && options.approach != 2) {
+        error = "--approach must be 1 or 2";
+        return false;
+      }
+    } else if (value_of("--max-steps=", value)) {
+      options.max_steps = std::stoull(value);
+    } else if (value_of("--seed=", value)) {
+      options.seed = std::stoull(value);
+    } else if (value_of("--mode=", value)) {
+      if (value == "progression") {
+        options.mode = sctc::MonitorMode::kProgression;
+      } else if (value == "automaton") {
+        options.mode = sctc::MonitorMode::kSynthesizedAutomaton;
+      } else {
+        error = "--mode must be progression or automaton";
+        return false;
+      }
+    } else if (value_of("--vcd=", value)) {
+      options.vcd_path = value;
+    } else if (value_of("--witness=", value)) {
+      options.witness = std::stoul(value);
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      error = "unknown option " + arg;
+      return false;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    error = "usage: esv-verify <program.c> <spec.esv> [options]";
+    return false;
+  }
+  options.program_path = positional[0];
+  options.spec_path = positional[1];
+  return true;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::string error;
+  if (!parse_args(argc, argv, options, error)) {
+    std::cerr << error << "\n";
+    return 2;
+  }
+
+  try {
+    const std::string source = read_file(options.program_path);
+    const spec::SpecFile specfile =
+        spec::parse_spec(read_file(options.spec_path));
+
+    minic::Program program = minic::compile(source);
+    mem::AddressSpace memory(
+        (program.data_segment_end() + 0xFFFu) & ~0xFFFu);
+
+    stimulus::RandomInputProvider inputs(options.seed);
+    for (const auto& input : specfile.inputs) {
+      if (input.is_chance) {
+        inputs.set_chance(input.name,
+                          static_cast<std::uint32_t>(input.lo),
+                          static_cast<std::uint32_t>(input.hi));
+      } else {
+        inputs.set_range(input.name, input.lo, input.hi);
+      }
+    }
+
+    sim::Simulation sim;
+    sctc::TemporalChecker checker(sim, "sctc", options.mode);
+    spec::apply_spec(specfile, program, memory, checker);
+    if (options.witness != 0) checker.set_witness_depth(options.witness);
+    checker.set_stop_on_violation(true);
+
+    sim::VcdTracer vcd(sim);
+    const bool want_vcd = !options.vcd_path.empty();
+    if (want_vcd) {
+      std::set<std::string> traced;
+      for (const auto& prop : specfile.propositions) {
+        if (!traced.insert(prop.global).second) continue;
+        const std::uint32_t address =
+            program.find_global(prop.global)->address;
+        vcd.add_u32(prop.global,
+                    [&memory, address] { return memory.sctc_read_uint(address); });
+      }
+    }
+
+    if (options.approach == 2) {
+      esw::EswProgram lowered = esw::lower_program(program);
+      esw::EswModel model(sim, "esw", program, lowered, memory, inputs);
+      checker.bind_trigger(model.pc_event());
+      if (want_vcd) vcd.sample_on(model.pc_event());
+      sim.create_method(
+          "supervisor",
+          [&] {
+            if (model.finished() || checker.all_decided() ||
+                model.interpreter().steps_executed() >= options.max_steps) {
+              sim.stop();
+            }
+          },
+          {&model.pc_event()}, /*run_at_start=*/false);
+      sim.run();
+    } else {
+      cpu::CodeImage image = cpu::compile_to_image(program);
+      sim::Clock clock(sim, "clk", sim::Time::ns(10));
+      cpu::Cpu core(sim, "cpu", image, memory, inputs, clock);
+      core.set_stop_on_halt(true);
+      checker.bind_trigger(clock.posedge_event());
+      if (want_vcd) vcd.sample_on(clock.posedge_event());
+      sim.create_method(
+          "supervisor",
+          [&] {
+            if (checker.all_decided() ||
+                clock.cycles() >= options.max_steps) {
+              sim.stop();
+            }
+          },
+          {&clock.posedge_event()}, /*run_at_start=*/false);
+      sim.run();
+      if (core.trapped() && !options.quiet) {
+        std::cout << "CPU trapped: " << core.trap_message() << "\n";
+      }
+    }
+
+    if (want_vcd) {
+      std::ofstream(options.vcd_path) << vcd.str();
+      if (!options.quiet) {
+        std::cout << "waveform: " << options.vcd_path << " ("
+                  << vcd.samples() << " samples)\n";
+      }
+    }
+    std::cout << checker.report();
+    if (checker.any_violated() && options.witness != 0) {
+      std::cout << "witness (last " << options.witness << " steps):\n"
+                << checker.witness_table();
+    }
+    return checker.any_violated() ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
