@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_approaches.dir/bench_fig8_approaches.cpp.o"
+  "CMakeFiles/bench_fig8_approaches.dir/bench_fig8_approaches.cpp.o.d"
+  "bench_fig8_approaches"
+  "bench_fig8_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_coverage.dir/bench_hybrid_coverage.cpp.o"
+  "CMakeFiles/bench_hybrid_coverage.dir/bench_hybrid_coverage.cpp.o.d"
+  "bench_hybrid_coverage"
+  "bench_hybrid_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/can_gateway.dir/can_gateway.cpp.o"
+  "CMakeFiles/can_gateway.dir/can_gateway.cpp.o.d"
+  "can_gateway"
+  "can_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/can_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

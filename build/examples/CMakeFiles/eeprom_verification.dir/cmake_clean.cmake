@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eeprom_verification.dir/eeprom_verification.cpp.o"
+  "CMakeFiles/eeprom_verification.dir/eeprom_verification.cpp.o.d"
+  "eeprom_verification"
+  "eeprom_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eeprom_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

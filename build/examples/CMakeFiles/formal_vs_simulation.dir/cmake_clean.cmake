@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formal_vs_simulation.dir/formal_vs_simulation.cpp.o"
+  "CMakeFiles/formal_vs_simulation.dir/formal_vs_simulation.cpp.o.d"
+  "formal_vs_simulation"
+  "formal_vs_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formal_vs_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

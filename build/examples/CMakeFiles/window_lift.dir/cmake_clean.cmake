@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_lift.dir/window_lift.cpp.o"
+  "CMakeFiles/window_lift.dir/window_lift.cpp.o.d"
+  "window_lift"
+  "window_lift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_lift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

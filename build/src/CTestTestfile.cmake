@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("temporal")
+subdirs("sctc")
+subdirs("mem")
+subdirs("minic")
+subdirs("flash")
+subdirs("can")
+subdirs("cpu")
+subdirs("esw")
+subdirs("stimulus")
+subdirs("casestudy")
+subdirs("formal")
+subdirs("hybrid")
+subdirs("spec")

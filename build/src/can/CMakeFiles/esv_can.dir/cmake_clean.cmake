@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_can.dir/can_controller.cpp.o"
+  "CMakeFiles/esv_can.dir/can_controller.cpp.o.d"
+  "libesv_can.a"
+  "libesv_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

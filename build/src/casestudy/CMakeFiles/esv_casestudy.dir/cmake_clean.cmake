@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_casestudy.dir/eeprom.cpp.o"
+  "CMakeFiles/esv_casestudy.dir/eeprom.cpp.o.d"
+  "CMakeFiles/esv_casestudy.dir/eeprom_source.cpp.o"
+  "CMakeFiles/esv_casestudy.dir/eeprom_source.cpp.o.d"
+  "CMakeFiles/esv_casestudy.dir/harness.cpp.o"
+  "CMakeFiles/esv_casestudy.dir/harness.cpp.o.d"
+  "libesv_casestudy.a"
+  "libesv_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_common.dir/logging.cpp.o"
+  "CMakeFiles/esv_common.dir/logging.cpp.o.d"
+  "CMakeFiles/esv_common.dir/rng.cpp.o"
+  "CMakeFiles/esv_common.dir/rng.cpp.o.d"
+  "CMakeFiles/esv_common.dir/strings.cpp.o"
+  "CMakeFiles/esv_common.dir/strings.cpp.o.d"
+  "libesv_common.a"
+  "libesv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

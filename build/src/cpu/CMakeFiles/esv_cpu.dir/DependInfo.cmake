@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/codegen.cpp" "src/cpu/CMakeFiles/esv_cpu.dir/codegen.cpp.o" "gcc" "src/cpu/CMakeFiles/esv_cpu.dir/codegen.cpp.o.d"
+  "/root/repo/src/cpu/cpu.cpp" "src/cpu/CMakeFiles/esv_cpu.dir/cpu.cpp.o" "gcc" "src/cpu/CMakeFiles/esv_cpu.dir/cpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minic/CMakeFiles/esv_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/esv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sctc/CMakeFiles/esv_sctc.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/esv_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/esv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

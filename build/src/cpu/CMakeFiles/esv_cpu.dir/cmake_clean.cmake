@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_cpu.dir/codegen.cpp.o"
+  "CMakeFiles/esv_cpu.dir/codegen.cpp.o.d"
+  "CMakeFiles/esv_cpu.dir/cpu.cpp.o"
+  "CMakeFiles/esv_cpu.dir/cpu.cpp.o.d"
+  "libesv_cpu.a"
+  "libesv_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

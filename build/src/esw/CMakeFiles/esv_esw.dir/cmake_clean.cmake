@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_esw.dir/esw_model.cpp.o"
+  "CMakeFiles/esv_esw.dir/esw_model.cpp.o.d"
+  "CMakeFiles/esv_esw.dir/esw_program.cpp.o"
+  "CMakeFiles/esv_esw.dir/esw_program.cpp.o.d"
+  "CMakeFiles/esv_esw.dir/interpreter.cpp.o"
+  "CMakeFiles/esv_esw.dir/interpreter.cpp.o.d"
+  "libesv_esw.a"
+  "libesv_esw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_esw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

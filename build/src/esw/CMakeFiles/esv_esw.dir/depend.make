@@ -1,0 +1,2 @@
+# Empty dependencies file for esv_esw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_flash.dir/flash_controller.cpp.o"
+  "CMakeFiles/esv_flash.dir/flash_controller.cpp.o.d"
+  "libesv_flash.a"
+  "libesv_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_formal.dir/absref/absref.cpp.o"
+  "CMakeFiles/esv_formal.dir/absref/absref.cpp.o.d"
+  "CMakeFiles/esv_formal.dir/bmc/bitblast.cpp.o"
+  "CMakeFiles/esv_formal.dir/bmc/bitblast.cpp.o.d"
+  "CMakeFiles/esv_formal.dir/bmc/bmc.cpp.o"
+  "CMakeFiles/esv_formal.dir/bmc/bmc.cpp.o.d"
+  "CMakeFiles/esv_formal.dir/bmc/spec.cpp.o"
+  "CMakeFiles/esv_formal.dir/bmc/spec.cpp.o.d"
+  "CMakeFiles/esv_formal.dir/sat/solver.cpp.o"
+  "CMakeFiles/esv_formal.dir/sat/solver.cpp.o.d"
+  "libesv_formal.a"
+  "libesv_formal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_formal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_hybrid.dir/coverage_closure.cpp.o"
+  "CMakeFiles/esv_hybrid.dir/coverage_closure.cpp.o.d"
+  "libesv_hybrid.a"
+  "libesv_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_mem.dir/address_space.cpp.o"
+  "CMakeFiles/esv_mem.dir/address_space.cpp.o.d"
+  "libesv_mem.a"
+  "libesv_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

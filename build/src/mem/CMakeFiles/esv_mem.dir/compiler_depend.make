@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for esv_mem.
+# This may be replaced when dependencies are built.

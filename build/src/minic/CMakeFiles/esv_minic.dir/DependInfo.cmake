@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minic/lexer.cpp" "src/minic/CMakeFiles/esv_minic.dir/lexer.cpp.o" "gcc" "src/minic/CMakeFiles/esv_minic.dir/lexer.cpp.o.d"
+  "/root/repo/src/minic/parser.cpp" "src/minic/CMakeFiles/esv_minic.dir/parser.cpp.o" "gcc" "src/minic/CMakeFiles/esv_minic.dir/parser.cpp.o.d"
+  "/root/repo/src/minic/sema.cpp" "src/minic/CMakeFiles/esv_minic.dir/sema.cpp.o" "gcc" "src/minic/CMakeFiles/esv_minic.dir/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_minic.dir/lexer.cpp.o"
+  "CMakeFiles/esv_minic.dir/lexer.cpp.o.d"
+  "CMakeFiles/esv_minic.dir/parser.cpp.o"
+  "CMakeFiles/esv_minic.dir/parser.cpp.o.d"
+  "CMakeFiles/esv_minic.dir/sema.cpp.o"
+  "CMakeFiles/esv_minic.dir/sema.cpp.o.d"
+  "libesv_minic.a"
+  "libesv_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_sctc.dir/checker.cpp.o"
+  "CMakeFiles/esv_sctc.dir/checker.cpp.o.d"
+  "CMakeFiles/esv_sctc.dir/esw_monitor.cpp.o"
+  "CMakeFiles/esv_sctc.dir/esw_monitor.cpp.o.d"
+  "libesv_sctc.a"
+  "libesv_sctc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_sctc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for esv_sctc.
+# This may be replaced when dependencies are built.

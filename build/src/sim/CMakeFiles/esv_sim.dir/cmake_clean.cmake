@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_sim.dir/clock.cpp.o"
+  "CMakeFiles/esv_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/esv_sim.dir/kernel.cpp.o"
+  "CMakeFiles/esv_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/esv_sim.dir/time.cpp.o"
+  "CMakeFiles/esv_sim.dir/time.cpp.o.d"
+  "CMakeFiles/esv_sim.dir/vcd.cpp.o"
+  "CMakeFiles/esv_sim.dir/vcd.cpp.o.d"
+  "libesv_sim.a"
+  "libesv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libesv_sim.a"
+)

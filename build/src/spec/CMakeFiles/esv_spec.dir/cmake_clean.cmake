@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_spec.dir/specfile.cpp.o"
+  "CMakeFiles/esv_spec.dir/specfile.cpp.o.d"
+  "libesv_spec.a"
+  "libesv_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

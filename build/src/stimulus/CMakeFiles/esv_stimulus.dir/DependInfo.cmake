@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stimulus/coverage.cpp" "src/stimulus/CMakeFiles/esv_stimulus.dir/coverage.cpp.o" "gcc" "src/stimulus/CMakeFiles/esv_stimulus.dir/coverage.cpp.o.d"
+  "/root/repo/src/stimulus/random_inputs.cpp" "src/stimulus/CMakeFiles/esv_stimulus.dir/random_inputs.cpp.o" "gcc" "src/stimulus/CMakeFiles/esv_stimulus.dir/random_inputs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/esv_minic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

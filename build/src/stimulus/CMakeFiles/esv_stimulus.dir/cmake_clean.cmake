@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_stimulus.dir/coverage.cpp.o"
+  "CMakeFiles/esv_stimulus.dir/coverage.cpp.o.d"
+  "CMakeFiles/esv_stimulus.dir/random_inputs.cpp.o"
+  "CMakeFiles/esv_stimulus.dir/random_inputs.cpp.o.d"
+  "libesv_stimulus.a"
+  "libesv_stimulus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_stimulus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

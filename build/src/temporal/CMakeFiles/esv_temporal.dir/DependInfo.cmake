@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/automaton.cpp" "src/temporal/CMakeFiles/esv_temporal.dir/automaton.cpp.o" "gcc" "src/temporal/CMakeFiles/esv_temporal.dir/automaton.cpp.o.d"
+  "/root/repo/src/temporal/formula.cpp" "src/temporal/CMakeFiles/esv_temporal.dir/formula.cpp.o" "gcc" "src/temporal/CMakeFiles/esv_temporal.dir/formula.cpp.o.d"
+  "/root/repo/src/temporal/monitor.cpp" "src/temporal/CMakeFiles/esv_temporal.dir/monitor.cpp.o" "gcc" "src/temporal/CMakeFiles/esv_temporal.dir/monitor.cpp.o.d"
+  "/root/repo/src/temporal/parser.cpp" "src/temporal/CMakeFiles/esv_temporal.dir/parser.cpp.o" "gcc" "src/temporal/CMakeFiles/esv_temporal.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv_temporal.dir/automaton.cpp.o"
+  "CMakeFiles/esv_temporal.dir/automaton.cpp.o.d"
+  "CMakeFiles/esv_temporal.dir/formula.cpp.o"
+  "CMakeFiles/esv_temporal.dir/formula.cpp.o.d"
+  "CMakeFiles/esv_temporal.dir/monitor.cpp.o"
+  "CMakeFiles/esv_temporal.dir/monitor.cpp.o.d"
+  "CMakeFiles/esv_temporal.dir/parser.cpp.o"
+  "CMakeFiles/esv_temporal.dir/parser.cpp.o.d"
+  "libesv_temporal.a"
+  "libesv_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absref_test.dir/absref_test.cpp.o"
+  "CMakeFiles/absref_test.dir/absref_test.cpp.o.d"
+  "absref_test"
+  "absref_test.pdb"
+  "absref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

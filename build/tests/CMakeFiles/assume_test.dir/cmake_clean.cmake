@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assume_test.dir/assume_test.cpp.o"
+  "CMakeFiles/assume_test.dir/assume_test.cpp.o.d"
+  "assume_test"
+  "assume_test.pdb"
+  "assume_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

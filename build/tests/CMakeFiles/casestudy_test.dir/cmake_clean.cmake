@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casestudy_test.dir/casestudy_test.cpp.o"
+  "CMakeFiles/casestudy_test.dir/casestudy_test.cpp.o.d"
+  "casestudy_test"
+  "casestudy_test.pdb"
+  "casestudy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casestudy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esw_interpreter_test.dir/esw_interpreter_test.cpp.o"
+  "CMakeFiles/esw_interpreter_test.dir/esw_interpreter_test.cpp.o.d"
+  "esw_interpreter_test"
+  "esw_interpreter_test.pdb"
+  "esw_interpreter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esw_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_flash_test.dir/mem_flash_test.cpp.o"
+  "CMakeFiles/mem_flash_test.dir/mem_flash_test.cpp.o.d"
+  "mem_flash_test"
+  "mem_flash_test.pdb"
+  "mem_flash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_flash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_frontend_test.dir/minic_frontend_test.cpp.o"
+  "CMakeFiles/minic_frontend_test.dir/minic_frontend_test.cpp.o.d"
+  "minic_frontend_test"
+  "minic_frontend_test.pdb"
+  "minic_frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sat_solver_test.cpp" "tests/CMakeFiles/sat_solver_test.dir/sat_solver_test.cpp.o" "gcc" "tests/CMakeFiles/sat_solver_test.dir/sat_solver_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/formal/CMakeFiles/esv_formal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/esv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/esw/CMakeFiles/esv_esw.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/esv_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/esv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sctc/CMakeFiles/esv_sctc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/esv_temporal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

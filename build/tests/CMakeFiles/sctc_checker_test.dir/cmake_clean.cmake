@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctc_checker_test.dir/sctc_checker_test.cpp.o"
+  "CMakeFiles/sctc_checker_test.dir/sctc_checker_test.cpp.o.d"
+  "sctc_checker_test"
+  "sctc_checker_test.pdb"
+  "sctc_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctc_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctc_witness_test.dir/sctc_witness_test.cpp.o"
+  "CMakeFiles/sctc_witness_test.dir/sctc_witness_test.cpp.o.d"
+  "sctc_witness_test"
+  "sctc_witness_test.pdb"
+  "sctc_witness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctc_witness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

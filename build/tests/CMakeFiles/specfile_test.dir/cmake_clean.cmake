@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfile_test.dir/specfile_test.cpp.o"
+  "CMakeFiles/specfile_test.dir/specfile_test.cpp.o.d"
+  "specfile_test"
+  "specfile_test.pdb"
+  "specfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

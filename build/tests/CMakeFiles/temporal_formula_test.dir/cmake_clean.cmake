@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_formula_test.dir/temporal_formula_test.cpp.o"
+  "CMakeFiles/temporal_formula_test.dir/temporal_formula_test.cpp.o.d"
+  "temporal_formula_test"
+  "temporal_formula_test.pdb"
+  "temporal_formula_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_formula_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_monitor_test.dir/temporal_monitor_test.cpp.o"
+  "CMakeFiles/temporal_monitor_test.dir/temporal_monitor_test.cpp.o.d"
+  "temporal_monitor_test"
+  "temporal_monitor_test.pdb"
+  "temporal_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

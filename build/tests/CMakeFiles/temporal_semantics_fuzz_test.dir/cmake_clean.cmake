@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_semantics_fuzz_test.dir/temporal_semantics_fuzz_test.cpp.o"
+  "CMakeFiles/temporal_semantics_fuzz_test.dir/temporal_semantics_fuzz_test.cpp.o.d"
+  "temporal_semantics_fuzz_test"
+  "temporal_semantics_fuzz_test.pdb"
+  "temporal_semantics_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_semantics_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

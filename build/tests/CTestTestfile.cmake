@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_signal_clock_test[1]_include.cmake")
+include("/root/repo/build/tests/temporal_formula_test[1]_include.cmake")
+include("/root/repo/build/tests/temporal_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/temporal_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/sctc_checker_test[1]_include.cmake")
+include("/root/repo/build/tests/minic_frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_flash_test[1]_include.cmake")
+include("/root/repo/build/tests/esw_interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/casestudy_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/bmc_test[1]_include.cmake")
+include("/root/repo/build/tests/absref_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_vcd_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/sctc_witness_test[1]_include.cmake")
+include("/root/repo/build/tests/specfile_test[1]_include.cmake")
+include("/root/repo/build/tests/assume_test[1]_include.cmake")
+include("/root/repo/build/tests/temporal_semantics_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/can_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_soak_test[1]_include.cmake")

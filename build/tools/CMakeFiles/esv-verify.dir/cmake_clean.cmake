@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esv-verify.dir/esv_verify.cpp.o"
+  "CMakeFiles/esv-verify.dir/esv_verify.cpp.o.d"
+  "esv-verify"
+  "esv-verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esv-verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(esv_verify_smoke_a2 "/root/repo/build/tools/esv-verify" "/root/repo/examples/data/blinker.c" "/root/repo/examples/data/blinker.esv" "--quiet")
+set_tests_properties(esv_verify_smoke_a2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(esv_verify_smoke_a1 "/root/repo/build/tools/esv-verify" "/root/repo/examples/data/blinker.c" "/root/repo/examples/data/blinker.esv" "--approach=1" "--quiet")
+set_tests_properties(esv_verify_smoke_a1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
