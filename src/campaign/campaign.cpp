@@ -1,0 +1,271 @@
+#include "campaign/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "cpu/codegen.hpp"
+#include "cpu/cpu.hpp"
+#include "esw/esw_model.hpp"
+#include "mem/address_space.hpp"
+#include "minic/sema.hpp"
+#include "spec/specfile.hpp"
+#include "stimulus/random_inputs.hpp"
+
+namespace esv::campaign {
+
+namespace {
+
+std::uint32_t memory_bytes(const minic::Program& program) {
+  // Same rounding as the esv-verify single-run path: data segment rounded up
+  // to a 4 KiB page.
+  return (program.data_segment_end() + 0xFFFu) & ~0xFFFu;
+}
+
+void configure_inputs(const spec::SpecFile& specfile,
+                      stimulus::RandomInputProvider& inputs) {
+  for (const auto& input : specfile.inputs) {
+    if (input.is_chance) {
+      inputs.set_chance(input.name, static_cast<std::uint32_t>(input.lo),
+                        static_cast<std::uint32_t>(input.hi));
+    } else {
+      inputs.set_range(input.name, input.lo, input.hi);
+    }
+  }
+}
+
+/// Immutable per-worker verification stack. Each worker compiles its own
+/// copy of the program so no AST, lowering, or code image is ever shared
+/// between threads (the front end has no synchronization and needs none).
+struct WorkerStack {
+  explicit WorkerStack(const CampaignConfig& config)
+      : program(minic::compile(config.program_source)) {
+    if (config.approach == 2) {
+      lowered = esw::lower_program(program);
+    } else {
+      image = cpu::compile_to_image(program);
+    }
+  }
+
+  minic::Program program;
+  std::optional<esw::EswProgram> lowered;  // approach 2
+  std::optional<cpu::CodeImage> image;     // approach 1
+};
+
+SeedResult run_seed(const WorkerStack& stack, const spec::SpecFile& specfile,
+                    const CampaignConfig& config, std::uint64_t seed) {
+  const auto started = std::chrono::steady_clock::now();
+  SeedResult result;
+  result.seed = seed;
+
+  mem::AddressSpace memory(memory_bytes(stack.program));
+  stimulus::RandomInputProvider inputs(seed);
+  configure_inputs(specfile, inputs);
+
+  sim::Simulation sim;
+  sctc::TemporalChecker checker(sim, "sctc", config.mode);
+  spec::apply_spec(specfile, stack.program, memory, checker);
+  checker.set_stop_on_violation(true);
+  if (config.witness_depth != 0) {
+    checker.set_witness_depth(config.witness_depth);
+  }
+
+  try {
+    if (config.approach == 2) {
+      esw::EswModel model(sim, "esw", stack.program, *stack.lowered, memory,
+                          inputs);
+      checker.bind_trigger(model.pc_event());
+      sim.create_method(
+          "supervisor",
+          [&] {
+            if (model.finished() || checker.all_decided() ||
+                model.interpreter().steps_executed() >= config.max_steps) {
+              sim.stop();
+            }
+          },
+          {&model.pc_event()}, /*run_at_start=*/false);
+      sim.run();
+      result.finished = model.finished();
+      result.statements = model.interpreter().steps_executed();
+    } else {
+      sim::Clock clock(sim, "clk", sim::Time::ns(10));
+      cpu::Cpu core(sim, "cpu", *stack.image, memory, inputs, clock);
+      core.set_stop_on_halt(true);
+      checker.bind_trigger(clock.posedge_event());
+      sim.create_method(
+          "supervisor",
+          [&] {
+            if (checker.all_decided() || clock.cycles() >= config.max_steps) {
+              sim.stop();
+            }
+          },
+          {&clock.posedge_event()}, /*run_at_start=*/false);
+      sim.run();
+      result.finished = core.halted() && !core.trapped();
+      result.statements = clock.cycles();
+      if (core.trapped()) result.error = "CPU trapped: " + core.trap_message();
+    }
+  } catch (const std::exception& e) {
+    // A fault of the software under test (assertion failure, memory fault,
+    // arithmetic fault). The verdicts reached so far are still reported.
+    result.error = e.what();
+  }
+
+  for (const sctc::PropertyRecord& record : checker.properties()) {
+    PropertyOutcome outcome;
+    outcome.verdict = record.verdict();
+    outcome.decided_at_step = record.decided_at_step;
+    result.properties.push_back(outcome);
+  }
+  result.steps = checker.steps();
+  result.draws = inputs.draw_count();
+  // Factory indices are assigned in registration order, which apply_spec
+  // fixes to the spec-file order — identical for every seed, so the counts
+  // align across seeds (and with CampaignReport::coverage) by position.
+  result.prop_true_counts = checker.registered_proposition_true_counts();
+  if (config.witness_depth != 0 && checker.any_violated()) {
+    result.witness = checker.witness_table();
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  return result;
+}
+
+}  // namespace
+
+CampaignReport run(const CampaignConfig& config) {
+  if (config.approach != 1 && config.approach != 2) {
+    throw std::invalid_argument("campaign: approach must be 1 or 2");
+  }
+  if (config.seed_hi < config.seed_lo) {
+    throw std::invalid_argument("campaign: empty seed range (hi < lo)");
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+
+  // Validate the whole configuration on the calling thread before any worker
+  // starts: spec parse errors, program compile errors, unresolvable
+  // propositions, and property parse errors all surface here.
+  const spec::SpecFile specfile = spec::parse_spec(config.spec_text);
+
+  CampaignReport report;
+  report.seed_lo = config.seed_lo;
+  report.seed_hi = config.seed_hi;
+  report.approach = config.approach;
+  report.mode = config.mode;
+  report.max_steps = config.max_steps;
+
+  std::vector<std::string> prop_names;
+  {
+    WorkerStack probe(config);
+    mem::AddressSpace memory(memory_bytes(probe.program));
+    sim::Simulation sim;
+    sctc::TemporalChecker checker(sim, "sctc", config.mode);
+    spec::apply_spec(specfile, probe.program, memory, checker);
+    for (const sctc::PropertyRecord& record : checker.properties()) {
+      report.property_names.push_back(record.name);
+    }
+    prop_names = checker.registered_proposition_names();
+  }
+
+  const std::uint64_t count = config.seed_hi - config.seed_lo + 1;
+  const unsigned jobs = static_cast<unsigned>(
+      std::min<std::uint64_t>(std::max(1u, config.jobs), count));
+  report.jobs = jobs;
+  report.seeds.resize(count);
+
+  std::atomic<std::uint64_t> cursor{0};
+  std::mutex failure_mutex;
+  std::exception_ptr failure;
+
+  const auto worker = [&] {
+    try {
+      const WorkerStack stack(config);
+      for (;;) {
+        const std::uint64_t index =
+            cursor.fetch_add(1, std::memory_order_relaxed);
+        if (index >= count) break;
+        report.seeds[index] =
+            run_seed(stack, specfile, config, config.seed_lo + index);
+      }
+    } catch (...) {
+      // Unexpected infrastructure failure (run_seed already absorbs faults
+      // of the software under test). Remember the first one and drain the
+      // remaining seeds so sibling workers terminate quickly.
+      {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+      cursor.store(count, std::memory_order_relaxed);
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (failure) std::rethrow_exception(failure);
+
+  // Deterministic aggregation: walk the seed slots in ascending seed order
+  // on the calling thread.
+  for (const std::string& name : prop_names) {
+    PropositionCoverage cov;
+    cov.name = name;
+    report.coverage.push_back(std::move(cov));
+  }
+  for (const std::string& name : report.property_names) {
+    PropertyAggregate agg;
+    agg.name = name;
+    report.per_property.push_back(std::move(agg));
+  }
+  for (const SeedResult& seed : report.seeds) {
+    bool seed_violated = false;
+    for (std::size_t p = 0; p < seed.properties.size(); ++p) {
+      switch (seed.properties[p].verdict) {
+        case temporal::Verdict::kValidated:
+          ++report.per_property[p].validated;
+          ++report.validated_total;
+          break;
+        case temporal::Verdict::kViolated:
+          ++report.per_property[p].violated;
+          ++report.violated_total;
+          seed_violated = true;
+          if (!report.per_property[p].first_violation_seed) {
+            report.per_property[p].first_violation_seed = seed.seed;
+          }
+          break;
+        case temporal::Verdict::kPending:
+          ++report.per_property[p].pending;
+          ++report.pending_total;
+          break;
+      }
+    }
+    if (seed_violated) ++report.violated_seeds;
+    if (!seed.error.empty()) ++report.error_seeds;
+    for (std::size_t i = 0;
+         i < seed.prop_true_counts.size() && i < report.coverage.size(); ++i) {
+      report.coverage[i].true_steps += seed.prop_true_counts[i];
+    }
+    for (PropositionCoverage& cov : report.coverage) {
+      cov.total_steps += seed.steps;
+    }
+    report.total_steps += seed.steps;
+    report.total_statements += seed.statements;
+    report.total_draws += seed.draws;
+  }
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  return report;
+}
+
+}  // namespace esv::campaign

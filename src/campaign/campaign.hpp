@@ -1,0 +1,138 @@
+// Multi-seed verification campaigns.
+//
+// The paper's simulation-based checking explores exactly one stimulus trace
+// per run, so confidence comes from running *many* seeds — the campaign-style
+// dynamic verification that statistical model checking of SystemC advocates
+// (Ngo & Legay; Ngo, Legay & Quilbeuf). A campaign fans a seed range out over
+// a pool of worker threads. Each worker owns a fully isolated verification
+// stack — its own mini-C compile, simulation kernel, ESW model (or
+// microprocessor model), stimulus provider, and SCTC — so seeds never share
+// mutable state and the per-seed results are independent of scheduling.
+//
+// Determinism guarantee: for a fixed (program, spec, approach, mode,
+// max_steps, seed range), the verdict table, per-seed results, and merged
+// coverage are identical for any jobs count. Every seed writes into a
+// pre-sized slot indexed by (seed - seed_lo); aggregation walks the slots in
+// seed order on the calling thread after all workers have joined. Only the
+// wall-clock figures vary between runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sctc/checker.hpp"
+#include "temporal/monitor.hpp"
+
+namespace esv::campaign {
+
+struct CampaignConfig {
+  std::string program_source;  // mini-C source text
+  std::string spec_text;       // ESV spec-file text
+  int approach = 2;            // 1 = microprocessor model, 2 = derived model
+  sctc::MonitorMode mode = sctc::MonitorMode::kProgression;
+  std::uint64_t max_steps = 1'000'000;  // per-seed statement/cycle budget
+  std::uint64_t seed_lo = 1;            // inclusive
+  std::uint64_t seed_hi = 1;            // inclusive
+  unsigned jobs = 1;                    // worker threads (clamped to >= 1)
+  std::size_t witness_depth = 0;  // violation witness steps kept per seed
+};
+
+/// Per-property outcome of one seed.
+struct PropertyOutcome {
+  temporal::Verdict verdict = temporal::Verdict::kPending;
+  std::uint64_t decided_at_step = 0;  // 0 while pending
+};
+
+/// Everything one seed produced. `properties` is index-aligned with
+/// CampaignReport::property_names, `prop_true_counts` with
+/// CampaignReport::coverage.
+struct SeedResult {
+  std::uint64_t seed = 0;
+  std::vector<PropertyOutcome> properties;
+  std::uint64_t steps = 0;       // temporal steps taken by the checker
+  std::uint64_t statements = 0;  // executed statements (a2) / cycles (a1)
+  std::uint64_t draws = 0;       // stimulus values drawn
+  bool finished = false;         // SUT ran to completion within the budget
+  std::string error;    // non-empty if the run aborted (assertion, trap, ...)
+  std::string witness;  // violation witness table (witness_depth > 0 only)
+  std::vector<std::uint64_t> prop_true_counts;
+  double wall_ms = 0.0;  // timing only; excluded from deterministic output
+};
+
+/// Per-property verdict tally over all seeds.
+struct PropertyAggregate {
+  std::string name;
+  std::uint64_t validated = 0;
+  std::uint64_t violated = 0;
+  std::uint64_t pending = 0;  // pending at budget
+  std::optional<std::uint64_t> first_violation_seed;
+};
+
+/// Merged proposition coverage: in how many of the campaign's temporal steps
+/// (summed over every seed) was the proposition true.
+struct PropositionCoverage {
+  std::string name;
+  std::uint64_t true_steps = 0;
+  std::uint64_t total_steps = 0;
+  double percent() const {
+    return total_steps == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(true_steps) /
+                     static_cast<double>(total_steps);
+  }
+};
+
+struct CampaignReport {
+  // Configuration echo (jobs affects only timing, never results).
+  std::uint64_t seed_lo = 0;
+  std::uint64_t seed_hi = 0;
+  int approach = 2;
+  sctc::MonitorMode mode = sctc::MonitorMode::kProgression;
+  std::uint64_t max_steps = 0;
+  unsigned jobs = 1;
+
+  std::vector<std::string> property_names;
+  std::vector<SeedResult> seeds;  // ascending seed order, one slot per seed
+  std::vector<PropertyAggregate> per_property;
+  std::vector<PropositionCoverage> coverage;
+
+  std::uint64_t validated_total = 0;  // over seeds x properties
+  std::uint64_t violated_total = 0;
+  std::uint64_t pending_total = 0;
+  std::uint64_t violated_seeds = 0;  // seeds with >= 1 violated property
+  std::uint64_t error_seeds = 0;     // seeds whose run aborted
+  std::uint64_t total_steps = 0;
+  std::uint64_t total_statements = 0;
+  std::uint64_t total_draws = 0;
+  double wall_seconds = 0.0;  // timing only
+
+  std::uint64_t seed_count() const { return seed_hi - seed_lo + 1; }
+  bool any_violated() const { return violated_total > 0; }
+  double seeds_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(seed_count()) / wall_seconds
+               : 0.0;
+  }
+
+  /// Deterministic multi-line result table: per-seed verdict rows, the
+  /// per-property tally, and merged coverage. Contains no timing and no
+  /// jobs count, so it is bit-identical across jobs settings.
+  std::string verdict_table() const;
+  /// Deterministic one-paragraph tally (the --quiet output).
+  std::string summary() const;
+  /// JSON report. With include_timing=false the wall-clock fields (and the
+  /// jobs count) are omitted and the output is bit-identical across jobs
+  /// settings; the schema is documented in docs/CAMPAIGN.md.
+  std::string to_json(bool include_timing = true) const;
+};
+
+/// Runs the campaign. Throws (spec::SpecError, minic::SemaError,
+/// std::invalid_argument, ...) on configuration errors — a malformed spec or
+/// program fails before any worker starts. Per-seed faults of the software
+/// under test (assertion failures, CPU traps, memory faults) do not abort
+/// the campaign; they are recorded in SeedResult::error.
+CampaignReport run(const CampaignConfig& config);
+
+}  // namespace esv::campaign

@@ -1,0 +1,205 @@
+// CampaignReport rendering: the deterministic verdict table / summary and
+// the JSON report (schema documented in docs/CAMPAIGN.md).
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "campaign/campaign.hpp"
+
+namespace esv::campaign {
+
+namespace {
+
+const char* mode_name(sctc::MonitorMode mode) {
+  return mode == sctc::MonitorMode::kProgression ? "progression" : "automaton";
+}
+
+char verdict_letter(temporal::Verdict v) {
+  switch (v) {
+    case temporal::Verdict::kValidated: return 'V';
+    case temporal::Verdict::kViolated: return 'X';
+    case temporal::Verdict::kPending: return 'P';
+  }
+  return '?';
+}
+
+const char* verdict_json(temporal::Verdict v) {
+  switch (v) {
+    case temporal::Verdict::kValidated: return "validated";
+    case temporal::Verdict::kViolated: return "violated";
+    case temporal::Verdict::kPending: return "pending";
+  }
+  return "unknown";
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream hex;
+          hex << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(static_cast<unsigned char>(c));
+          out += hex.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Fixed-precision percentage so the deterministic outputs never depend on
+/// floating-point formatting defaults.
+std::string percent_text(double percent) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(2) << percent;
+  return out.str();
+}
+
+}  // namespace
+
+std::string CampaignReport::verdict_table() const {
+  std::ostringstream out;
+  out << "campaign seeds " << seed_lo << ".." << seed_hi << "  approach="
+      << approach << "  mode=" << mode_name(mode) << "  max-steps="
+      << max_steps << "\n";
+  out << "properties:";
+  for (const std::string& name : property_names) out << " " << name;
+  out << "\n";
+  for (const SeedResult& seed : seeds) {
+    out << "  seed " << std::setw(8) << seed.seed << "  [";
+    for (const PropertyOutcome& p : seed.properties) {
+      out << verdict_letter(p.verdict);
+    }
+    out << "]  steps=" << seed.steps << "  statements=" << seed.statements;
+    if (!seed.finished) out << "  unfinished";
+    if (!seed.error.empty()) out << "  error: " << seed.error;
+    out << "\n";
+  }
+  out << "property tally:\n";
+  for (const PropertyAggregate& agg : per_property) {
+    out << "  " << agg.name << ": validated=" << agg.validated
+        << " violated=" << agg.violated << " pending=" << agg.pending;
+    if (agg.first_violation_seed) {
+      out << "  (first violation @seed " << *agg.first_violation_seed << ")";
+    }
+    out << "\n";
+  }
+  out << "merged proposition coverage:\n";
+  for (const PropositionCoverage& cov : coverage) {
+    out << "  " << cov.name << ": " << percent_text(cov.percent()) << "% ("
+        << cov.true_steps << "/" << cov.total_steps << " steps)\n";
+  }
+  out << summary();
+  return out.str();
+}
+
+std::string CampaignReport::summary() const {
+  std::ostringstream out;
+  out << "totals: " << seed_count() << " seeds, " << violated_seeds
+      << " with violations, " << error_seeds << " with errors; verdicts "
+      << validated_total << " validated / " << violated_total
+      << " violated / " << pending_total << " pending; " << total_steps
+      << " temporal steps, " << total_statements << " statements, "
+      << total_draws << " stimulus draws\n";
+  return out.str();
+}
+
+std::string CampaignReport::to_json(bool include_timing) const {
+  std::ostringstream out;
+  out << "{\n  \"campaign\": {"
+      << "\"seed_lo\": " << seed_lo << ", \"seed_hi\": " << seed_hi
+      << ", \"approach\": " << approach << ", \"mode\": \"" << mode_name(mode)
+      << "\", \"max_steps\": " << max_steps;
+  if (include_timing) out << ", \"jobs\": " << jobs;
+  out << "},\n";
+
+  out << "  \"properties\": [";
+  for (std::size_t i = 0; i < property_names.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << json_escape(property_names[i]) << "\"";
+  }
+  out << "],\n";
+
+  out << "  \"seeds\": [\n";
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    const SeedResult& seed = seeds[s];
+    out << "    {\"seed\": " << seed.seed << ", \"verdicts\": [";
+    for (std::size_t p = 0; p < seed.properties.size(); ++p) {
+      out << (p ? ", " : "") << "\"" << verdict_json(seed.properties[p].verdict)
+          << "\"";
+    }
+    out << "], \"decided_at_step\": [";
+    for (std::size_t p = 0; p < seed.properties.size(); ++p) {
+      out << (p ? ", " : "") << seed.properties[p].decided_at_step;
+    }
+    out << "], \"steps\": " << seed.steps
+        << ", \"statements\": " << seed.statements
+        << ", \"draws\": " << seed.draws
+        << ", \"finished\": " << (seed.finished ? "true" : "false");
+    if (!seed.error.empty()) {
+      out << ", \"error\": \"" << json_escape(seed.error) << "\"";
+    }
+    if (!seed.witness.empty()) {
+      out << ", \"witness\": \"" << json_escape(seed.witness) << "\"";
+    }
+    if (include_timing) {
+      out << ", \"wall_ms\": " << std::fixed << std::setprecision(3)
+          << seed.wall_ms;
+      out.unsetf(std::ios_base::floatfield);
+    }
+    out << "}" << (s + 1 < seeds.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"aggregate\": {\n    \"per_property\": [\n";
+  for (std::size_t i = 0; i < per_property.size(); ++i) {
+    const PropertyAggregate& agg = per_property[i];
+    out << "      {\"name\": \"" << json_escape(agg.name)
+        << "\", \"validated\": " << agg.validated
+        << ", \"violated\": " << agg.violated
+        << ", \"pending\": " << agg.pending << ", \"first_violation_seed\": ";
+    if (agg.first_violation_seed) {
+      out << *agg.first_violation_seed;
+    } else {
+      out << "null";
+    }
+    out << "}" << (i + 1 < per_property.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n    \"coverage\": [\n";
+  for (std::size_t i = 0; i < coverage.size(); ++i) {
+    const PropositionCoverage& cov = coverage[i];
+    out << "      {\"prop\": \"" << json_escape(cov.name)
+        << "\", \"true_steps\": " << cov.true_steps
+        << ", \"total_steps\": " << cov.total_steps << ", \"percent\": "
+        << percent_text(cov.percent()) << "}"
+        << (i + 1 < coverage.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n";
+  out << "    \"validated\": " << validated_total
+      << ", \"violated\": " << violated_total
+      << ", \"pending\": " << pending_total
+      << ", \"violated_seeds\": " << violated_seeds
+      << ", \"error_seeds\": " << error_seeds
+      << ", \"total_steps\": " << total_steps
+      << ", \"total_statements\": " << total_statements
+      << ", \"total_draws\": " << total_draws << "\n  }";
+
+  if (include_timing) {
+    out << ",\n  \"timing\": {\"wall_seconds\": " << std::fixed
+        << std::setprecision(3) << wall_seconds
+        << ", \"seeds_per_second\": " << std::setprecision(1)
+        << seeds_per_second() << "}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace esv::campaign

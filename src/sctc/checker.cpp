@@ -47,6 +47,7 @@ void TemporalChecker::register_proposition(
   if (propositions_by_index_.size() <= index) {
     propositions_by_index_.resize(index + 1);
     value_cache_.resize(index + 1, 0);
+    true_counts_.resize(index + 1, 0);
   }
   propositions_by_index_[index] = std::move(proposition);
 }
@@ -112,6 +113,7 @@ void TemporalChecker::evaluate_propositions() {
   for (std::size_t i = 0; i < propositions_by_index_.size(); ++i) {
     if (propositions_by_index_[i]) {
       value_cache_[i] = propositions_by_index_[i]->is_true() ? 1 : 0;
+      if (value_cache_[i]) ++true_counts_[i];
     }
   }
 }
@@ -188,8 +190,37 @@ void TemporalChecker::step_all() {
   if (violated_now && stop_on_violation_) sim_.stop();
 }
 
+std::uint64_t TemporalChecker::proposition_true_count(int prop_index) const {
+  const auto idx = static_cast<std::size_t>(prop_index);
+  return idx < true_counts_.size() ? true_counts_[idx] : 0;
+}
+
+std::vector<std::string> TemporalChecker::registered_proposition_names() const {
+  std::vector<std::string> names;
+  for (int i = 0; i < factory_.prop_count(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (idx < propositions_by_index_.size() &&
+        propositions_by_index_[idx] != nullptr) {
+      names.push_back(factory_.prop_name(i));
+    }
+  }
+  return names;
+}
+
+std::vector<std::uint64_t> TemporalChecker::registered_proposition_true_counts()
+    const {
+  std::vector<std::uint64_t> counts;
+  for (std::size_t i = 0; i < propositions_by_index_.size(); ++i) {
+    if (propositions_by_index_[i] != nullptr) {
+      counts.push_back(true_counts_[i]);
+    }
+  }
+  return counts;
+}
+
 void TemporalChecker::reset_monitors() {
   steps_ = 0;
+  for (std::uint64_t& count : true_counts_) count = 0;
   for (PropertyRecord& record : properties_) {
     if (record.progression) record.progression->reset();
     if (record.automaton_monitor) record.automaton_monitor->reset();

@@ -105,6 +105,19 @@ class TemporalChecker : public sim::Module {
   /// Multi-line result table.
   std::string report() const;
 
+  // --- proposition coverage ---
+  /// Number of steps in which the proposition with the given factory index
+  /// evaluated to true (since construction / the last reset_monitors()).
+  /// Campaign runs merge these counts across seeds into a stimulus-coverage
+  /// figure: a proposition that is never (or always) true points at a
+  /// constraint set that cannot exercise the property.
+  std::uint64_t proposition_true_count(int prop_index) const;
+  /// Names of all registered propositions, in factory index order.
+  std::vector<std::string> registered_proposition_names() const;
+  /// True counts for all registered propositions, aligned index-by-index
+  /// with registered_proposition_names().
+  std::vector<std::uint64_t> registered_proposition_true_counts() const;
+
   /// The formula factory (exposed for tests and tooling, e.g. IL dumps).
   temporal::FormulaFactory& factory() { return factory_; }
 
@@ -133,6 +146,7 @@ class TemporalChecker : public sim::Module {
   std::vector<std::unique_ptr<Proposition>> propositions_by_index_;
   std::vector<PropertyRecord> properties_;
   std::vector<char> value_cache_;  // per-step proposition values
+  std::vector<std::uint64_t> true_counts_;  // per-proposition steps-true
   std::uint64_t steps_ = 0;
   bool stop_on_violation_ = false;
   std::size_t witness_depth_ = 0;

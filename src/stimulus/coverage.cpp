@@ -14,4 +14,16 @@ void ReturnCodeCoverage::observe(std::uint32_t value) {
   }
 }
 
+void ReturnCodeCoverage::merge(const ReturnCodeCoverage& other) {
+  for (std::uint32_t value : other.observed_) {
+    if (std::find(expected_.begin(), expected_.end(), value) !=
+        expected_.end()) {
+      observed_.insert(value);
+    } else {
+      ++anomalies_;
+    }
+  }
+  anomalies_ += other.anomalies_;
+}
+
 }  // namespace esv::stimulus

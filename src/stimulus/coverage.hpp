@@ -35,6 +35,13 @@ class ReturnCodeCoverage {
   /// specification violation if it ever happens.
   std::uint64_t anomaly_count() const { return anomalies_; }
 
+  /// Merges another collector's observations into this one (campaign-style
+  /// aggregation across seeds). Only codes in *this* collector's expected set
+  /// count as observed; everything else the other collector saw is folded
+  /// into the anomaly count, so merging collectors with mismatched expected
+  /// sets cannot inflate the coverage percentage.
+  void merge(const ReturnCodeCoverage& other);
+
   void reset() {
     observed_.clear();
     anomalies_ = 0;

@@ -1,0 +1,144 @@
+// End-to-end tests for the esv-verify command line, focused on the error
+// paths: every usage or input mistake must exit with code 2 (never a crash,
+// never a silent 0/1), and the campaign options must validate their input.
+// The binary path and sample data directory are injected by CMake.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#ifndef ESV_VERIFY_BIN
+#error "ESV_VERIFY_BIN must be defined by the build"
+#endif
+#ifndef ESV_DATA_DIR
+#error "ESV_DATA_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+RunResult run_cli(const std::string& args) {
+  const std::string command =
+      std::string(ESV_VERIFY_BIN) + " " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[512];
+  while (fgets(buffer, sizeof buffer, pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string blinker_c() { return std::string(ESV_DATA_DIR) + "/blinker.c"; }
+std::string blinker_esv() { return std::string(ESV_DATA_DIR) + "/blinker.esv"; }
+std::string sample_args() { return blinker_c() + " " + blinker_esv(); }
+
+TEST(EsvVerifyCliTest, MissingArgumentsExitsTwo) {
+  const RunResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(EsvVerifyCliTest, BadApproachExitsTwo) {
+  for (const char* flag : {"--approach=3", "--approach=abc", "--approach="}) {
+    const RunResult r = run_cli(sample_args() + " " + flag);
+    EXPECT_EQ(r.exit_code, 2) << flag << "\n" << r.output;
+    EXPECT_NE(r.output.find("--approach must be 1 or 2"), std::string::npos)
+        << r.output;
+  }
+}
+
+TEST(EsvVerifyCliTest, UnknownOptionExitsTwo) {
+  const RunResult r = run_cli(sample_args() + " --frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option"), std::string::npos);
+}
+
+TEST(EsvVerifyCliTest, BadModeAndBadNumbersExitTwo) {
+  EXPECT_EQ(run_cli(sample_args() + " --mode=psychic").exit_code, 2);
+  EXPECT_EQ(run_cli(sample_args() + " --seed=banana").exit_code, 2);
+  EXPECT_EQ(run_cli(sample_args() + " --max-steps=1e9").exit_code, 2);
+  EXPECT_EQ(run_cli(sample_args() + " --witness=-1").exit_code, 2);
+}
+
+TEST(EsvVerifyCliTest, MalformedSeedRangeExitsTwo) {
+  for (const char* flag :
+       {"--campaign=abc", "--campaign=1..", "--campaign=..8", "--campaign=1-8",
+        "--campaign=8..1", "--campaign=1..2..3"}) {
+    const RunResult r = run_cli(sample_args() + " " + flag);
+    EXPECT_EQ(r.exit_code, 2) << flag << "\n" << r.output;
+    EXPECT_NE(r.output.find("--campaign"), std::string::npos) << r.output;
+  }
+  EXPECT_EQ(run_cli(sample_args() + " --campaign=1..4 --jobs=0").exit_code, 2);
+  EXPECT_EQ(run_cli(sample_args() + " --campaign=1..4 --jobs=x").exit_code, 2);
+  // VCD dumping is a single-run feature.
+  EXPECT_EQ(
+      run_cli(sample_args() + " --campaign=1..4 --vcd=/tmp/w.vcd").exit_code,
+      2);
+}
+
+TEST(EsvVerifyCliTest, UnreadableInputFilesExitTwo) {
+  const RunResult no_spec = run_cli(blinker_c() + " /nonexistent/spec.esv");
+  EXPECT_EQ(no_spec.exit_code, 2);
+  EXPECT_NE(no_spec.output.find("cannot open"), std::string::npos);
+
+  const RunResult no_prog = run_cli("/nonexistent/prog.c " + blinker_esv());
+  EXPECT_EQ(no_prog.exit_code, 2);
+  EXPECT_NE(no_prog.output.find("cannot open"), std::string::npos);
+
+  // Campaign mode reports unreadable inputs identically.
+  const RunResult campaign =
+      run_cli(blinker_c() + " /nonexistent/spec.esv --campaign=1..4");
+  EXPECT_EQ(campaign.exit_code, 2);
+  EXPECT_NE(campaign.output.find("cannot open"), std::string::npos);
+}
+
+TEST(EsvVerifyCliTest, MalformedSpecReportsLineAndExitsTwo) {
+  const std::string path = ::testing::TempDir() + "/bad_spec.esv";
+  std::ofstream(path) << "input enable 0 1\nbogus directive here\n";
+  const RunResult r = run_cli(blinker_c() + " " + path);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("spec line 2"), std::string::npos) << r.output;
+}
+
+TEST(EsvVerifyCliTest, SingleRunStillExitsZeroOnCleanVerify) {
+  const RunResult r = run_cli(sample_args() + " --quiet");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(EsvVerifyCliTest, CampaignRunsAndWritesReport) {
+  const std::string report = ::testing::TempDir() + "/campaign_report.json";
+  std::remove(report.c_str());
+  const RunResult r = run_cli(sample_args() + " --campaign=1..4 --jobs=2" +
+                              " --report=" + report);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("campaign seeds 1..4"), std::string::npos);
+  std::ifstream in(report);
+  ASSERT_TRUE(in.good());
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"seed_lo\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"per_property\""), std::string::npos);
+}
+
+TEST(EsvVerifyCliTest, CampaignVerdictTableIdenticalAcrossJobs) {
+  // The wall/seeds-per-second line is timing; --quiet prints the
+  // deterministic summary only.
+  const RunResult one = run_cli(sample_args() + " --campaign=1..12 --quiet");
+  const RunResult eight =
+      run_cli(sample_args() + " --campaign=1..12 --jobs=8 --quiet");
+  EXPECT_EQ(one.exit_code, 0);
+  EXPECT_EQ(eight.exit_code, 0);
+  EXPECT_EQ(one.output, eight.output);
+}
+
+}  // namespace

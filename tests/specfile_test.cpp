@@ -57,6 +57,35 @@ TEST(SpecParseTest, Errors) {
   }
 }
 
+// Every parse error must point at the offending 1-based source line, with
+// the "spec line N:" prefix in what() — that string is what esv-verify
+// prints, so both the accessor and the rendered message are pinned here.
+TEST(SpecParseTest, ErrorsCarryExactLineLocation) {
+  struct Case {
+    const char* text;
+    int line;
+  };
+  const Case cases[] = {
+      {"bogus", 1},
+      {"input enable 0 1\nwat is this", 2},
+      // Blank lines and comments still count toward the line number.
+      {"# header comment\n\ninput x 0 1\n\nprop broken ~ x == 0", 5},
+      {"prop a = x == 0\nprop b = y ==\ncheck p: G a", 2},
+      {"input x 0 1\nprop a = x == 0\ncheck p G a", 3},
+  };
+  for (const Case& c : cases) {
+    try {
+      parse_spec(c.text);
+      FAIL() << "no error for: " << c.text;
+    } catch (const SpecError& e) {
+      EXPECT_EQ(e.line(), c.line) << c.text;
+      const std::string expected = "spec line " + std::to_string(c.line) + ":";
+      EXPECT_NE(std::string(e.what()).find(expected), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 class ApplyTest : public ::testing::Test {
  protected:
   ApplyTest()

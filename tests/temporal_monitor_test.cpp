@@ -219,6 +219,106 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+// --- Bounded-operator edge cases (campaign seed traces hit all of these) ---
+
+// F[0] f collapses to f: the window is "now".
+TEST(EdgeCaseTest, EventuallyZeroBoundCollapsesToOperand) {
+  FormulaFactory f;
+  EXPECT_EQ(parse_fltl("F[0] a", f), f.prop("a"));
+
+  // Verdict arrives on the very first step, in both modes.
+  FormulaRef prop = parse_fltl("F[0] a", f);
+  ProgressionMonitor pm_true(f, prop);
+  EXPECT_EQ(pm_true.step(valuation({true})), Verdict::kValidated);
+  ProgressionMonitor pm_false(f, prop);
+  EXPECT_EQ(pm_false.step(valuation({false})), Verdict::kViolated);
+
+  ArAutomaton a = synthesize(f, prop);
+  AutomatonMonitor am_true(a);
+  EXPECT_EQ(am_true.step(valuation({true})), Verdict::kValidated);
+  AutomatonMonitor am_false(a);
+  EXPECT_EQ(am_false.step(valuation({false})), Verdict::kViolated);
+
+  // Inside a response property F[0] behaves like plain implication.
+  EXPECT_EQ(parse_fltl("G (a -> F[0] b)", f), parse_fltl("G (a -> b)", f));
+}
+
+// a U[0] b collapses to b (window of one step), G[0] likewise.
+TEST(EdgeCaseTest, UntilZeroBoundCollapsesToRhs) {
+  FormulaFactory f;
+  // Parse first so "a" takes proposition index 0 before prop() lookups.
+  FormulaRef prop = parse_fltl("a U[0] b", f);
+  EXPECT_EQ(prop, f.prop("b"));
+  EXPECT_EQ(parse_fltl("G[0] a", f), f.prop("a"));
+  EXPECT_EQ(parse_fltl("a R[0] b", f), f.prop("b"));
+
+  ProgressionMonitor pm(f, prop);
+  // a alone cannot satisfy the zero-width window.
+  EXPECT_EQ(pm.step(valuation({true, false})), Verdict::kViolated);
+  ArAutomaton a = synthesize(f, prop);
+  AutomatonMonitor am(a);
+  EXPECT_EQ(am.step(valuation({false, true})), Verdict::kValidated);
+}
+
+// X[n] where the trace ends before step n: pending at the budget in both
+// modes, and strong (violated) under finite-trace end-of-trace semantics.
+TEST(EdgeCaseTest, NextPastEndOfTrace) {
+  FormulaFactory f;
+  FormulaRef prop = parse_fltl("X[3] a", f);
+  ArAutomaton automaton = synthesize(f, prop);
+
+  ProgressionMonitor pm(f, prop);
+  AutomatonMonitor am(automaton);
+  for (int step = 0; step < 2; ++step) {  // trace ends after 2 < 3 steps
+    EXPECT_EQ(pm.step(valuation({true})), Verdict::kPending);
+    EXPECT_EQ(am.step(valuation({true})), Verdict::kPending);
+  }
+  // Pending at budget: no decision was forced...
+  EXPECT_EQ(pm.verdict(), Verdict::kPending);
+  EXPECT_EQ(am.verdict(), Verdict::kPending);
+  // ...but if the trace ends here, X (strong) fails on the missing state.
+  EXPECT_EQ(pm.verdict_at_end(), Verdict::kViolated);
+
+  // With enough trace the value at exactly step n decides.
+  ProgressionMonitor pm2(f, prop);
+  AutomatonMonitor am2(automaton);
+  for (int step = 0; step < 3; ++step) {
+    pm2.step(valuation({false}));
+    am2.step(valuation({false}));
+  }
+  EXPECT_EQ(pm2.step(valuation({true})), Verdict::kValidated);
+  EXPECT_EQ(am2.step(valuation({true})), Verdict::kValidated);
+}
+
+// Pending-at-budget for a bounded response: a trace that stops mid-window
+// leaves the verdict pending in both modes, and both modes agree step by
+// step up to the budget.
+TEST(EdgeCaseTest, PendingAtBudgetInBothModes) {
+  FormulaFactory f;
+  FormulaRef prop = parse_fltl("G (a -> F[10] b)", f);
+  ArAutomaton automaton = synthesize(f, prop);
+
+  ProgressionMonitor pm(f, prop);
+  AutomatonMonitor am(automaton);
+  // Step 0 raises the obligation; the budget ends the trace inside the
+  // 10-step window with b never seen.
+  for (int step = 0; step < 5; ++step) {
+    const Step s{step == 0, false};
+    EXPECT_EQ(pm.step(valuation(s)), Verdict::kPending) << "step " << step;
+    EXPECT_EQ(am.step(valuation(s)), Verdict::kPending) << "step " << step;
+  }
+  EXPECT_EQ(pm.verdict(), Verdict::kPending);
+  EXPECT_EQ(am.verdict(), Verdict::kPending);
+  // End-of-trace semantics resolve the open strong obligation to violated.
+  EXPECT_EQ(pm.verdict_at_end(), Verdict::kViolated);
+
+  // An unbounded G with no open obligation is weak: pending while running,
+  // validated if the trace ends.
+  ProgressionMonitor weak(f, parse_fltl("G (a -> F[10] b)", f));
+  EXPECT_EQ(weak.step(valuation({false, false})), Verdict::kPending);
+  EXPECT_EQ(weak.verdict_at_end(), Verdict::kValidated);
+}
+
 // The paper reports that properties with *no* time bound sometimes outperform
 // bounded ones because the AR-automaton for a large bound is expensive to
 // generate. Sanity-check the mechanism: unbounded response has O(1) states,

@@ -13,15 +13,24 @@
 //     --witness=N          keep the last N steps as a violation witness
 //     --quiet              only print the final verdict table
 //
-// Exit code: 0 when no property is violated, 1 on violation, 2 on usage or
-// input errors.
+//   Campaign mode (docs/CAMPAIGN.md) replaces the single run by a
+//   multi-seed sweep with deterministic aggregation:
+//     --campaign=LO..HI    verify every seed in [LO, HI] (inclusive)
+//     --jobs=N             campaign worker threads (default 1)
+//     --report=FILE        write the JSON campaign report to FILE
+//
+// Exit code: 0 when no property is violated, 1 on violation (in campaign
+// mode: any violated or errored seed), 2 on usage or input errors.
+#include <charconv>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <set>
 #include <sstream>
 #include <string>
 
+#include "campaign/campaign.hpp"
 #include "cpu/codegen.hpp"
 #include "cpu/cpu.hpp"
 #include "esw/esw_model.hpp"
@@ -45,7 +54,18 @@ struct Options {
   std::string vcd_path;
   std::size_t witness = 0;
   bool quiet = false;
+  // Campaign mode.
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> campaign;
+  unsigned jobs = 1;
+  std::string report_path;
 };
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc{} && result.ptr == text.data() + text.size();
+}
 
 bool parse_args(int argc, char** argv, Options& options, std::string& error) {
   std::vector<std::string> positional;
@@ -58,16 +78,25 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
       return true;
     };
     std::string value;
+    std::uint64_t number = 0;
     if (value_of("--approach=", value)) {
-      options.approach = std::stoi(value);
-      if (options.approach != 1 && options.approach != 2) {
+      if (!parse_u64(value, number) || (number != 1 && number != 2)) {
         error = "--approach must be 1 or 2";
         return false;
       }
+      options.approach = static_cast<int>(number);
     } else if (value_of("--max-steps=", value)) {
-      options.max_steps = std::stoull(value);
+      if (!parse_u64(value, number)) {
+        error = "--max-steps must be an integer";
+        return false;
+      }
+      options.max_steps = number;
     } else if (value_of("--seed=", value)) {
-      options.seed = std::stoull(value);
+      if (!parse_u64(value, number)) {
+        error = "--seed must be an integer";
+        return false;
+      }
+      options.seed = number;
     } else if (value_of("--mode=", value)) {
       if (value == "progression") {
         options.mode = sctc::MonitorMode::kProgression;
@@ -77,10 +106,37 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
         error = "--mode must be progression or automaton";
         return false;
       }
+    } else if (value_of("--campaign=", value)) {
+      const std::size_t dots = value.find("..");
+      std::uint64_t lo = 0;
+      std::uint64_t hi = 0;
+      if (dots == std::string::npos || !parse_u64(value.substr(0, dots), lo) ||
+          !parse_u64(value.substr(dots + 2), hi)) {
+        error = "--campaign expects a seed range LO..HI";
+        return false;
+      }
+      if (hi < lo) {
+        error = "--campaign: empty seed range (HI < LO)";
+        return false;
+      }
+      options.campaign = {lo, hi};
+    } else if (value_of("--jobs=", value)) {
+      std::uint64_t jobs = 0;
+      if (!parse_u64(value, jobs) || jobs == 0) {
+        error = "--jobs must be a positive integer";
+        return false;
+      }
+      options.jobs = static_cast<unsigned>(jobs);
+    } else if (value_of("--report=", value)) {
+      options.report_path = value;
     } else if (value_of("--vcd=", value)) {
       options.vcd_path = value;
     } else if (value_of("--witness=", value)) {
-      options.witness = std::stoul(value);
+      if (!parse_u64(value, number)) {
+        error = "--witness must be an integer";
+        return false;
+      }
+      options.witness = static_cast<std::size_t>(number);
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -92,6 +148,10 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
   }
   if (positional.size() != 2) {
     error = "usage: esv-verify <program.c> <spec.esv> [options]";
+    return false;
+  }
+  if (options.campaign && !options.vcd_path.empty()) {
+    error = "--vcd is not available in campaign mode";
     return false;
   }
   options.program_path = positional[0];
@@ -119,6 +179,42 @@ int main(int argc, char** argv) {
 
   try {
     const std::string source = read_file(options.program_path);
+
+    if (options.campaign) {
+      campaign::CampaignConfig config;
+      config.program_source = source;
+      config.spec_text = read_file(options.spec_path);
+      config.approach = options.approach;
+      config.mode = options.mode;
+      config.max_steps = options.max_steps;
+      config.seed_lo = options.campaign->first;
+      config.seed_hi = options.campaign->second;
+      config.jobs = options.jobs;
+      config.witness_depth = options.witness;
+
+      const campaign::CampaignReport report = campaign::run(config);
+      std::cout << (options.quiet ? report.summary() : report.verdict_table());
+      if (!options.report_path.empty()) {
+        std::ofstream out(options.report_path);
+        if (!out) {
+          throw std::runtime_error("cannot write " + options.report_path);
+        }
+        out << report.to_json();
+        if (!options.quiet) {
+          std::cout << "report: " << options.report_path << "\n";
+        }
+      }
+      if (!options.quiet) {
+        std::ostringstream timing;
+        timing << std::fixed << std::setprecision(2);
+        timing << "wall " << report.wall_seconds << " s, "
+               << report.seeds_per_second() << " seeds/sec (" << report.jobs
+               << (report.jobs == 1 ? " worker)" : " workers)") << "\n";
+        std::cout << timing.str();
+      }
+      return (report.any_violated() || report.error_seeds != 0) ? 1 : 0;
+    }
+
     const spec::SpecFile specfile =
         spec::parse_spec(read_file(options.spec_path));
 
