@@ -1,0 +1,133 @@
+// Fault-injection overhead: what a fault plan costs per temporal step, and
+// what it adds to an end-to-end campaign seed.
+//
+// The engine is on the campaign hot path — on_step() runs once per pc event
+// / clock edge — so its cost with an *inactive* plan (empty, or a window
+// that never opens) bounds the tax every fault campaign pays, and the
+// active-plan numbers show the marginal cost of actually injecting.
+#include <benchmark/benchmark.h>
+
+#include "campaign/campaign.hpp"
+#include "fault/fault_engine.hpp"
+#include "fault/fault_plan.hpp"
+#include "mem/address_space.hpp"
+
+namespace {
+
+using namespace esv;
+
+fault::FaultPlan resolved_plan(const char* text) {
+  fault::FaultPlan plan = fault::parse_plan(text);
+  plan.resolve([](const std::string&, std::uint32_t& address) {
+    address = 0x40;
+    return true;
+  });
+  return plan;
+}
+
+void run_steps(benchmark::State& state, const fault::FaultPlan& plan) {
+  mem::AddressSpace memory(0x1000);
+  fault::FaultEngine engine(plan, /*seed=*/1, /*log_limit=*/8);
+  engine.bind_memory(memory);
+  std::uint64_t step = 0;
+  for (auto _ : state) {
+    engine.on_step(step++);
+  }
+  benchmark::DoNotOptimize(engine.injected_count());
+  state.counters["steps_per_s"] =
+      benchmark::Counter(static_cast<double>(step), benchmark::Counter::kIsRate);
+}
+
+void BM_StepEmptyPlan(benchmark::State& state) {
+  run_steps(state, fault::FaultPlan{});
+}
+BENCHMARK(BM_StepEmptyPlan);
+
+void BM_StepInactiveWindow(benchmark::State& state) {
+  // Window never opens within the benchmark's step range: the per-step cost
+  // is one active_at() check per entry.
+  run_steps(state,
+            resolved_plan("bitflip x window 999999999999..999999999999\n"
+                          "stuckbit x 3 1 window 999999999999..999999999999"));
+}
+BENCHMARK(BM_StepInactiveWindow);
+
+void BM_StepActiveStuckBit(benchmark::State& state) {
+  run_steps(state, resolved_plan("stuckbit x 3 1"));
+}
+BENCHMARK(BM_StepActiveStuckBit);
+
+void BM_StepActiveBitFlipRare(benchmark::State& state) {
+  // The realistic shape: a rare event fault pays one rng draw per step.
+  run_steps(state, resolved_plan("bitflip x prob 1/1024"));
+}
+BENCHMARK(BM_StepActiveBitFlipRare);
+
+// End-to-end: a campaign seed with and without a fault plan. The workload is
+// the blinker sample scaled to a few thousand statements per seed.
+const char* kProgram = R"(
+enum { LED_OFF = 0, LED_ON = 1 };
+int led;
+int ticks_on;
+int cycles;
+void update(int enable) {
+  if (enable == 1) {
+    if (led == LED_OFF) { led = LED_ON; } else { led = LED_OFF; }
+  } else {
+    led = LED_OFF;
+  }
+  if (led == LED_ON) { ticks_on = ticks_on + 1; }
+}
+void main(void) {
+  led = LED_OFF;
+  while (cycles < 2000) {
+    int enable = __in(enable);
+    update(enable);
+    cycles = cycles + 1;
+  }
+}
+)";
+
+const char* kSpec = R"(
+input enable 0 1
+prop led_on   = led == LED_ON
+prop led_off  = led == LED_OFF
+prop finished = cycles >= 2000
+check legal: G (led_on || led_off)
+check terminates: F finished
+)";
+
+void run_campaign(benchmark::State& state, const char* plan_text) {
+  std::uint64_t seeds = 0;
+  for (auto _ : state) {
+    campaign::CampaignConfig config;
+    config.program_source = kProgram;
+    config.spec_text = kSpec;
+    config.seed_lo = 1;
+    config.seed_hi = 8;
+    config.fault_plan_text = plan_text;
+    const campaign::CampaignReport report = campaign::run(config);
+    seeds += report.seed_count();
+    benchmark::DoNotOptimize(report.total_steps);
+  }
+  state.counters["seeds_per_s"] = benchmark::Counter(
+      static_cast<double>(seeds), benchmark::Counter::kIsRate);
+}
+
+void BM_CampaignNominal(benchmark::State& state) { run_campaign(state, ""); }
+BENCHMARK(BM_CampaignNominal)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignWithInactivePlan(benchmark::State& state) {
+  run_campaign(state,
+               "bitflip led window 999999999999..999999999999\n");
+}
+BENCHMARK(BM_CampaignWithInactivePlan)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignWithRareFaults(benchmark::State& state) {
+  run_campaign(state, "bitflip ticks_on prob 1/512\n");
+}
+BENCHMARK(BM_CampaignWithRareFaults)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -3,12 +3,16 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
-#include <mutex>
+#include <optional>
+#include <sstream>
 #include <thread>
 
 #include "cpu/codegen.hpp"
 #include "cpu/cpu.hpp"
 #include "esw/esw_model.hpp"
+#include "esw/interpreter.hpp"
+#include "fault/fault_engine.hpp"
+#include "fault/fault_plan.hpp"
 #include "mem/address_space.hpp"
 #include "minic/sema.hpp"
 #include "spec/specfile.hpp"
@@ -54,15 +58,42 @@ struct WorkerStack {
   std::optional<cpu::CodeImage> image;     // approach 1
 };
 
+std::string watchdog_message(double timeout_seconds) {
+  // Deterministic text: mentions the configured budget, never the measured
+  // time, so two timed-out runs of the same config render identically.
+  std::ostringstream out;
+  out << "watchdog: seed exceeded the " << timeout_seconds
+      << "s wall-clock budget";
+  return out.str();
+}
+
 SeedResult run_seed(const WorkerStack& stack, const spec::SpecFile& specfile,
-                    const CampaignConfig& config, std::uint64_t seed) {
+                    const fault::FaultPlan& plan, const CampaignConfig& config,
+                    std::uint64_t seed) {
   const auto started = std::chrono::steady_clock::now();
   SeedResult result;
   result.seed = seed;
 
+  // Cooperative wall-clock watchdog. A worker thread cannot be killed, so
+  // the deadline is polled from the supervisor; the check runs every 1024
+  // events to keep it off the hot path.
+  const bool watchdog = config.seed_timeout_seconds > 0.0;
+  const auto deadline =
+      started + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        watchdog ? config.seed_timeout_seconds : 0.0));
+  std::uint32_t watchdog_tick = 0;
+  bool timed_out = false;
+
   mem::AddressSpace memory(memory_bytes(stack.program));
   stimulus::RandomInputProvider inputs(seed);
   configure_inputs(specfile, inputs);
+
+  std::optional<fault::FaultEngine> faults;
+  if (!plan.empty()) {
+    faults.emplace(plan, seed, config.fault_log_limit);
+    faults->bind_memory(memory);
+  }
 
   sim::Simulation sim;
   sctc::TemporalChecker checker(sim, "sctc", config.mode);
@@ -76,10 +107,20 @@ SeedResult run_seed(const WorkerStack& stack, const spec::SpecFile& specfile,
     if (config.approach == 2) {
       esw::EswModel model(sim, "esw", stack.program, *stack.lowered, memory,
                           inputs);
+      // Registration order matters: the checker's trigger method is created
+      // first, so on every pc event the monitors step on the pre-fault state
+      // and the engine then injects for that step.
       checker.bind_trigger(model.pc_event());
       sim.create_method(
           "supervisor",
           [&] {
+            if (faults) faults->on_step(checker.steps());
+            if (watchdog && (++watchdog_tick & 1023u) == 0 &&
+                std::chrono::steady_clock::now() >= deadline) {
+              timed_out = true;
+              sim.stop();
+              return;
+            }
             if (model.finished() || checker.all_decided() ||
                 model.interpreter().steps_executed() >= config.max_steps) {
               sim.stop();
@@ -93,10 +134,18 @@ SeedResult run_seed(const WorkerStack& stack, const spec::SpecFile& specfile,
       sim::Clock clock(sim, "clk", sim::Time::ns(10));
       cpu::Cpu core(sim, "cpu", *stack.image, memory, inputs, clock);
       core.set_stop_on_halt(true);
+      if (faults) faults->bind_clock(clock);
       checker.bind_trigger(clock.posedge_event());
       sim.create_method(
           "supervisor",
           [&] {
+            if (faults) faults->on_step(checker.steps());
+            if (watchdog && (++watchdog_tick & 1023u) == 0 &&
+                std::chrono::steady_clock::now() >= deadline) {
+              timed_out = true;
+              sim.stop();
+              return;
+            }
             if (checker.all_decided() || clock.cycles() >= config.max_steps) {
               sim.stop();
             }
@@ -105,18 +154,43 @@ SeedResult run_seed(const WorkerStack& stack, const spec::SpecFile& specfile,
       sim.run();
       result.finished = core.halted() && !core.trapped();
       result.statements = clock.cycles();
-      if (core.trapped()) result.error = "CPU trapped: " + core.trap_message();
+      if (core.trapped()) {
+        result.error = "CPU trapped: " + core.trap_message();
+        result.error_kind = "sut";
+      }
     }
-  } catch (const std::exception& e) {
-    // A fault of the software under test (assertion failure, memory fault,
-    // arithmetic fault). The verdicts reached so far are still reported.
+  } catch (const esw::AssertionFailure& e) {
+    // Faults of the software under test: the verdicts reached so far are
+    // still reported, and the campaign carries on.
     result.error = e.what();
+    result.error_kind = "sut";
+  } catch (const esw::RuntimeFault& e) {
+    result.error = e.what();
+    result.error_kind = "sut";
+  } catch (const mem::MemoryFault& e) {
+    result.error = e.what();
+    result.error_kind = "sut";
+  } catch (const std::exception& e) {
+    // Anything else escaping the verification stack is an infrastructure
+    // error — eligible for the bounded retry policy in the worker loop.
+    result.error = e.what();
+    result.error_kind = "infrastructure";
+  }
+  if (timed_out) {
+    result.error = watchdog_message(config.seed_timeout_seconds);
+    result.error_kind = "timeout";
+    result.finished = false;
   }
 
+  const bool run_errored = !result.error.empty();
   for (const sctc::PropertyRecord& record : checker.properties()) {
     PropertyOutcome outcome;
     outcome.verdict = record.verdict();
     outcome.decided_at_step = record.decided_at_step;
+    if (!plan.empty()) {
+      outcome.fault_class =
+          sctc::classify_under_fault(outcome.verdict, run_errored);
+    }
     result.properties.push_back(outcome);
   }
   result.steps = checker.steps();
@@ -127,6 +201,10 @@ SeedResult run_seed(const WorkerStack& stack, const spec::SpecFile& specfile,
   result.prop_true_counts = checker.registered_proposition_true_counts();
   if (config.witness_depth != 0 && checker.any_violated()) {
     result.witness = checker.witness_table();
+  }
+  if (faults) {
+    result.injected_faults = faults->injected_count();
+    result.fault_log = faults->log_text();
   }
   result.wall_ms =
       std::chrono::duration<double, std::milli>(
@@ -149,8 +227,13 @@ CampaignReport run(const CampaignConfig& config) {
 
   // Validate the whole configuration on the calling thread before any worker
   // starts: spec parse errors, program compile errors, unresolvable
-  // propositions, and property parse errors all surface here.
+  // propositions, property parse errors, and malformed or unresolvable fault
+  // plans all surface here.
   const spec::SpecFile specfile = spec::parse_spec(config.spec_text);
+  fault::FaultPlan plan = fault::parse_plan(config.fault_plan_text);
+  for (const spec::FaultLineSpec& fl : specfile.fault_lines) {
+    plan.entries.push_back(fault::parse_fault_line(fl.text, fl.line));
+  }
 
   CampaignReport report;
   report.seed_lo = config.seed_lo;
@@ -158,6 +241,8 @@ CampaignReport run(const CampaignConfig& config) {
   report.approach = config.approach;
   report.mode = config.mode;
   report.max_steps = config.max_steps;
+  report.fault_campaign = !plan.empty();
+  report.fault_plan_entries = plan.entries.size();
 
   std::vector<std::string> prop_names;
   {
@@ -170,6 +255,15 @@ CampaignReport run(const CampaignConfig& config) {
       report.property_names.push_back(record.name);
     }
     prop_names = checker.registered_proposition_names();
+    // Resolve memory-fault targets once, against the probe compile. Every
+    // worker compiles the identical source, so the addresses are valid for
+    // all of them and resolution errors surface before any worker starts.
+    plan.resolve([&probe](const std::string& name, std::uint32_t& address) {
+      const minic::GlobalVar* global = probe.program.find_global(name);
+      if (global == nullptr || global->is_array) return false;
+      address = global->address;
+      return true;
+    });
   }
 
   const std::uint64_t count = config.seed_hi - config.seed_lo + 1;
@@ -179,28 +273,57 @@ CampaignReport run(const CampaignConfig& config) {
   report.seeds.resize(count);
 
   std::atomic<std::uint64_t> cursor{0};
-  std::mutex failure_mutex;
-  std::exception_ptr failure;
 
   const auto worker = [&] {
+    // A worker that cannot even build its stack still consumes seeds and
+    // records a structured error per seed, so the campaign always finishes
+    // and sibling workers are unaffected.
+    std::optional<WorkerStack> stack;
+    std::string stack_error;
     try {
-      const WorkerStack stack(config);
-      for (;;) {
-        const std::uint64_t index =
-            cursor.fetch_add(1, std::memory_order_relaxed);
-        if (index >= count) break;
-        report.seeds[index] =
-            run_seed(stack, specfile, config, config.seed_lo + index);
-      }
+      stack.emplace(config);
+    } catch (const std::exception& e) {
+      stack_error = std::string("worker setup failed: ") + e.what();
     } catch (...) {
-      // Unexpected infrastructure failure (run_seed already absorbs faults
-      // of the software under test). Remember the first one and drain the
-      // remaining seeds so sibling workers terminate quickly.
-      {
-        const std::lock_guard<std::mutex> lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
+      stack_error = "worker setup failed: unknown exception";
+    }
+    for (;;) {
+      const std::uint64_t index =
+          cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) break;
+      const std::uint64_t seed = config.seed_lo + index;
+      if (!stack) {
+        SeedResult& slot = report.seeds[index];
+        slot.seed = seed;
+        slot.error = stack_error;
+        slot.error_kind = "infrastructure";
+        continue;
       }
-      cursor.store(count, std::memory_order_relaxed);
+      // Bounded retry: only infrastructure errors are retried — a fault of
+      // the software under test is a result, and a timeout would only burn
+      // another full timeout's worth of wall clock.
+      for (unsigned attempt = 0;; ++attempt) {
+        SeedResult result;
+        try {
+          result = run_seed(*stack, specfile, plan, config, seed);
+        } catch (const std::exception& e) {
+          result = SeedResult{};
+          result.seed = seed;
+          result.error = e.what();
+          result.error_kind = "infrastructure";
+        } catch (...) {
+          result = SeedResult{};
+          result.seed = seed;
+          result.error = "unknown exception";
+          result.error_kind = "infrastructure";
+        }
+        result.attempts = attempt + 1;
+        if (result.error_kind != "infrastructure" ||
+            attempt >= config.seed_retries) {
+          report.seeds[index] = std::move(result);
+          break;
+        }
+      }
     }
   };
 
@@ -212,7 +335,6 @@ CampaignReport run(const CampaignConfig& config) {
     for (unsigned i = 0; i < jobs; ++i) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
-  if (failure) std::rethrow_exception(failure);
 
   // Deterministic aggregation: walk the seed slots in ascending seed order
   // on the calling thread.
@@ -247,9 +369,30 @@ CampaignReport run(const CampaignConfig& config) {
           ++report.pending_total;
           break;
       }
+      switch (seed.properties[p].fault_class) {
+        case sctc::FaultClass::kNotApplicable:
+          break;
+        case sctc::FaultClass::kHeldUnderFault:
+          ++report.per_property[p].held_under_fault;
+          ++report.held_under_fault_total;
+          break;
+        case sctc::FaultClass::kViolatedUnderFault:
+          ++report.per_property[p].violated_under_fault;
+          ++report.violated_under_fault_total;
+          break;
+        case sctc::FaultClass::kMonitorError:
+          ++report.per_property[p].monitor_errors;
+          ++report.monitor_error_total;
+          break;
+      }
     }
     if (seed_violated) ++report.violated_seeds;
-    if (!seed.error.empty()) ++report.error_seeds;
+    if (!seed.error.empty()) {
+      ++report.error_seeds;
+      if (seed.error_kind == "timeout") ++report.timeout_seeds;
+    }
+    if (seed.attempts > 1) ++report.retried_seeds;
+    report.injected_faults_total += seed.injected_faults;
     for (std::size_t i = 0;
          i < seed.prop_true_counts.size() && i < report.coverage.size(); ++i) {
       report.coverage[i].true_steps += seed.prop_true_counts[i];

@@ -37,12 +37,34 @@ struct CampaignConfig {
   std::uint64_t seed_hi = 1;            // inclusive
   unsigned jobs = 1;                    // worker threads (clamped to >= 1)
   std::size_t witness_depth = 0;  // violation witness steps kept per seed
+
+  // --- fault injection (docs/FAULTS.md) ---
+  /// Fault-plan text (the --faults file). Parsed together with any `fault`
+  /// lines embedded in the spec; both target the same plan. Empty plus an
+  /// empty spec fault section means a nominal campaign.
+  std::string fault_plan_text;
+  /// Detailed fault-log records kept per seed (counts stay exact beyond
+  /// the limit; 0 keeps every record).
+  std::size_t fault_log_limit = 64;
+
+  // --- hardening ---
+  /// Per-seed wall-clock watchdog in seconds; a seed past the deadline is
+  /// stopped and recorded with error_kind "timeout". 0 disables. Timeouts
+  /// depend on the wall clock, so enabling the watchdog trades the
+  /// cross-jobs determinism guarantee for liveness.
+  double seed_timeout_seconds = 0.0;
+  /// Bounded retries for seeds that die with an infrastructure error (not
+  /// a fault of the software under test, not a timeout). The last attempt's
+  /// result is kept; SeedResult::attempts records how many ran.
+  unsigned seed_retries = 0;
 };
 
 /// Per-property outcome of one seed.
 struct PropertyOutcome {
   temporal::Verdict verdict = temporal::Verdict::kPending;
   std::uint64_t decided_at_step = 0;  // 0 while pending
+  /// Robustness classification; kNotApplicable on nominal (fault-free) runs.
+  sctc::FaultClass fault_class = sctc::FaultClass::kNotApplicable;
 };
 
 /// Everything one seed produced. `properties` is index-aligned with
@@ -56,8 +78,18 @@ struct SeedResult {
   std::uint64_t draws = 0;       // stimulus values drawn
   bool finished = false;         // SUT ran to completion within the budget
   std::string error;    // non-empty if the run aborted (assertion, trap, ...)
+  /// Error taxonomy, empty when error is empty:
+  ///   "sut"            — fault of the software under test (assertion,
+  ///                      runtime fault, memory fault, CPU trap)
+  ///   "timeout"        — the per-seed watchdog stopped the run
+  ///   "infrastructure" — anything else that escaped the verification
+  ///                      stack; eligible for bounded retry
+  std::string error_kind;
+  unsigned attempts = 1;  // runs of this seed (> 1 after retries)
   std::string witness;  // violation witness table (witness_depth > 0 only)
   std::vector<std::uint64_t> prop_true_counts;
+  std::uint64_t injected_faults = 0;  // faults injected into this seed's run
+  std::string fault_log;  // deterministic rendered fault log (may truncate)
   double wall_ms = 0.0;  // timing only; excluded from deterministic output
 };
 
@@ -68,6 +100,10 @@ struct PropertyAggregate {
   std::uint64_t violated = 0;
   std::uint64_t pending = 0;  // pending at budget
   std::optional<std::uint64_t> first_violation_seed;
+  // Fault-campaign classification tallies (zero on nominal campaigns).
+  std::uint64_t held_under_fault = 0;
+  std::uint64_t violated_under_fault = 0;
+  std::uint64_t monitor_errors = 0;
 };
 
 /// Merged proposition coverage: in how many of the campaign's temporal steps
@@ -103,6 +139,17 @@ struct CampaignReport {
   std::uint64_t pending_total = 0;
   std::uint64_t violated_seeds = 0;  // seeds with >= 1 violated property
   std::uint64_t error_seeds = 0;     // seeds whose run aborted
+  std::uint64_t timeout_seeds = 0;   // subset of error_seeds: watchdog hits
+  std::uint64_t retried_seeds = 0;   // seeds that needed more than 1 attempt
+
+  // Fault-campaign totals (fault_campaign == false on nominal runs).
+  bool fault_campaign = false;
+  std::uint64_t fault_plan_entries = 0;
+  std::uint64_t injected_faults_total = 0;
+  std::uint64_t held_under_fault_total = 0;
+  std::uint64_t violated_under_fault_total = 0;
+  std::uint64_t monitor_error_total = 0;
+
   std::uint64_t total_steps = 0;
   std::uint64_t total_statements = 0;
   std::uint64_t total_draws = 0;

@@ -64,6 +64,10 @@ std::string percent_text(double percent) {
   return out.str();
 }
 
+const char* fault_class_json(sctc::FaultClass fault_class) {
+  return sctc::fault_class_name(fault_class);
+}
+
 }  // namespace
 
 std::string CampaignReport::verdict_table() const {
@@ -71,6 +75,10 @@ std::string CampaignReport::verdict_table() const {
   out << "campaign seeds " << seed_lo << ".." << seed_hi << "  approach="
       << approach << "  mode=" << mode_name(mode) << "  max-steps="
       << max_steps << "\n";
+  if (fault_campaign) {
+    out << "fault plan: " << fault_plan_entries << " entries, "
+        << injected_faults_total << " faults injected\n";
+  }
   out << "properties:";
   for (const std::string& name : property_names) out << " " << name;
   out << "\n";
@@ -80,14 +88,25 @@ std::string CampaignReport::verdict_table() const {
       out << verdict_letter(p.verdict);
     }
     out << "]  steps=" << seed.steps << "  statements=" << seed.statements;
+    if (fault_campaign) out << "  faults=" << seed.injected_faults;
     if (!seed.finished) out << "  unfinished";
-    if (!seed.error.empty()) out << "  error: " << seed.error;
+    if (seed.attempts > 1) out << "  attempts=" << seed.attempts;
+    if (!seed.error.empty()) {
+      out << "  error";
+      if (!seed.error_kind.empty()) out << "[" << seed.error_kind << "]";
+      out << ": " << seed.error;
+    }
     out << "\n";
   }
   out << "property tally:\n";
   for (const PropertyAggregate& agg : per_property) {
     out << "  " << agg.name << ": validated=" << agg.validated
         << " violated=" << agg.violated << " pending=" << agg.pending;
+    if (fault_campaign) {
+      out << "  under-fault: held=" << agg.held_under_fault
+          << " violated=" << agg.violated_under_fault
+          << " monitor-errors=" << agg.monitor_errors;
+    }
     if (agg.first_violation_seed) {
       out << "  (first violation @seed " << *agg.first_violation_seed << ")";
     }
@@ -105,11 +124,20 @@ std::string CampaignReport::verdict_table() const {
 std::string CampaignReport::summary() const {
   std::ostringstream out;
   out << "totals: " << seed_count() << " seeds, " << violated_seeds
-      << " with violations, " << error_seeds << " with errors; verdicts "
-      << validated_total << " validated / " << violated_total
+      << " with violations, " << error_seeds << " with errors";
+  if (timeout_seeds != 0) out << " (" << timeout_seeds << " timed out)";
+  if (retried_seeds != 0) out << ", " << retried_seeds << " retried";
+  out << "; verdicts " << validated_total << " validated / " << violated_total
       << " violated / " << pending_total << " pending; " << total_steps
       << " temporal steps, " << total_statements << " statements, "
       << total_draws << " stimulus draws\n";
+  if (fault_campaign) {
+    out << "faults: " << injected_faults_total << " injected from "
+        << fault_plan_entries << " plan entries; classification "
+        << held_under_fault_total << " held / " << violated_under_fault_total
+        << " violated-under-fault / " << monitor_error_total
+        << " monitor-errors\n";
+  }
   return out.str();
 }
 
@@ -144,8 +172,24 @@ std::string CampaignReport::to_json(bool include_timing) const {
         << ", \"statements\": " << seed.statements
         << ", \"draws\": " << seed.draws
         << ", \"finished\": " << (seed.finished ? "true" : "false");
+    if (fault_campaign) {
+      out << ", \"faults\": " << seed.injected_faults
+          << ", \"fault_classes\": [";
+      for (std::size_t p = 0; p < seed.properties.size(); ++p) {
+        out << (p ? ", " : "") << "\""
+            << fault_class_json(seed.properties[p].fault_class) << "\"";
+      }
+      out << "]";
+      if (!seed.fault_log.empty()) {
+        out << ", \"fault_log\": \"" << json_escape(seed.fault_log) << "\"";
+      }
+    }
+    if (seed.attempts > 1) {
+      out << ", \"attempts\": " << seed.attempts;
+    }
     if (!seed.error.empty()) {
-      out << ", \"error\": \"" << json_escape(seed.error) << "\"";
+      out << ", \"error\": \"" << json_escape(seed.error) << "\""
+          << ", \"error_kind\": \"" << json_escape(seed.error_kind) << "\"";
     }
     if (!seed.witness.empty()) {
       out << ", \"witness\": \"" << json_escape(seed.witness) << "\"";
@@ -165,7 +209,13 @@ std::string CampaignReport::to_json(bool include_timing) const {
     out << "      {\"name\": \"" << json_escape(agg.name)
         << "\", \"validated\": " << agg.validated
         << ", \"violated\": " << agg.violated
-        << ", \"pending\": " << agg.pending << ", \"first_violation_seed\": ";
+        << ", \"pending\": " << agg.pending;
+    if (fault_campaign) {
+      out << ", \"held_under_fault\": " << agg.held_under_fault
+          << ", \"violated_under_fault\": " << agg.violated_under_fault
+          << ", \"monitor_errors\": " << agg.monitor_errors;
+    }
+    out << ", \"first_violation_seed\": ";
     if (agg.first_violation_seed) {
       out << *agg.first_violation_seed;
     } else {
@@ -188,7 +238,16 @@ std::string CampaignReport::to_json(bool include_timing) const {
       << ", \"pending\": " << pending_total
       << ", \"violated_seeds\": " << violated_seeds
       << ", \"error_seeds\": " << error_seeds
-      << ", \"total_steps\": " << total_steps
+      << ", \"timeout_seeds\": " << timeout_seeds
+      << ", \"retried_seeds\": " << retried_seeds;
+  if (fault_campaign) {
+    out << ",\n    \"fault\": {\"plan_entries\": " << fault_plan_entries
+        << ", \"injected\": " << injected_faults_total
+        << ", \"held\": " << held_under_fault_total
+        << ", \"violated\": " << violated_under_fault_total
+        << ", \"monitor_errors\": " << monitor_error_total << "}";
+  }
+  out << ",\n    \"total_steps\": " << total_steps
       << ", \"total_statements\": " << total_statements
       << ", \"total_draws\": " << total_draws << "\n  }";
 

@@ -50,6 +50,9 @@ void CanController::mmio_write(std::uint32_t offset, std::uint32_t value) {
       tx_error_ = false;
       tx_busy_ticks_left_ = config_.tx_busy_ticks;
       if (tx_busy_ticks_left_ == 0) tx_busy_ticks_left_ = 1;
+      // Injected delay stretches this transmission, then disarms.
+      tx_busy_ticks_left_ += fault_delay_;
+      fault_delay_ = 0;
       return;
     default:
       return;
@@ -65,7 +68,17 @@ void CanController::tick() {
     return;
   }
   tx_done_ = true;
-  tx_log_.push_back(CanFrame{tx_id_, tx_data_});
+  CanFrame frame{tx_id_, tx_data_};
+  if (fault_corrupt_mask_ != 0) {
+    frame.data ^= fault_corrupt_mask_;
+    fault_corrupt_mask_ = 0;
+  }
+  if (fault_drop_) {
+    // Lost on the bus: the sender saw DONE, the frame never arrives.
+    fault_drop_ = false;
+    return;
+  }
+  tx_log_.push_back(frame);
 }
 
 bool CanController::inject_rx(std::uint32_t id, std::uint32_t data) {

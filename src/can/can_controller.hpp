@@ -76,6 +76,21 @@ class CanController final : public mem::MmioDevice {
   /// Fails the next transmission with the ERROR bit.
   void inject_tx_fault() { tx_fault_ = true; }
 
+  // --- fault-engine hooks (fault::FaultEngine) ---
+  /// XORs the next completed transmission's payload with `xor_mask`
+  /// (bus-level frame corruption; the sender still sees DONE).
+  void fault_corrupt_next_tx(std::uint32_t xor_mask) {
+    fault_corrupt_mask_ = xor_mask;
+  }
+  /// Silently loses the next completed transmission: the sender sees DONE
+  /// but the frame never reaches the bus (tx_log).
+  void fault_drop_next_tx() { fault_drop_ = true; }
+  /// Stretches the next transmission by `extra_ticks` busy ticks
+  /// (arbitration loss / retransmission delay).
+  void fault_delay_next_tx(std::uint32_t extra_ticks) {
+    fault_delay_ += extra_ticks;
+  }
+
   std::size_t rx_pending() const { return rx_fifo_.size(); }
   bool overrun() const { return overrun_; }
   std::uint64_t rx_dropped() const { return rx_dropped_; }
@@ -93,6 +108,9 @@ class CanController final : public mem::MmioDevice {
   bool tx_done_ = false;
   bool tx_error_ = false;
   bool tx_fault_ = false;
+  std::uint32_t fault_corrupt_mask_ = 0;
+  bool fault_drop_ = false;
+  std::uint32_t fault_delay_ = 0;
   std::vector<CanFrame> tx_log_;
 };
 

@@ -1,0 +1,123 @@
+#include "fault/fault_engine.hpp"
+
+#include <sstream>
+
+#include "can/can_controller.hpp"
+#include "flash/flash_controller.hpp"
+#include "mem/address_space.hpp"
+#include "sim/clock.hpp"
+
+namespace esv::fault {
+
+namespace {
+
+// Mixed into the run seed so the fault stream and the stimulus stream of the
+// same seed are decorrelated (both feed xoshiro through different states).
+constexpr std::uint64_t kFaultStreamSalt = 0xFA17F1A6'5EED5A17ULL;
+
+flash::FlashController::FaultOp to_flash_op(FlashFailOp op) {
+  switch (op) {
+    case FlashFailOp::kErase: return flash::FlashController::FaultOp::kErase;
+    case FlashFailOp::kProgram:
+      return flash::FlashController::FaultOp::kProgram;
+    case FlashFailOp::kAny: break;
+  }
+  return flash::FlashController::FaultOp::kAny;
+}
+
+}  // namespace
+
+FaultEngine::FaultEngine(const FaultPlan& plan, std::uint64_t seed,
+                         std::size_t log_limit)
+    : plan_(plan), rng_(seed ^ kFaultStreamSalt), log_limit_(log_limit) {}
+
+void FaultEngine::record(std::uint64_t step, std::string text) {
+  ++injected_;
+  if (log_limit_ == 0 || log_.size() < log_limit_) {
+    log_.push_back(FaultRecord{step, std::move(text)});
+  }
+}
+
+void FaultEngine::on_step(std::uint64_t step) {
+  for (const FaultSpec& entry : plan_.entries) {
+    if (!entry.active_at(step)) continue;
+
+    if (entry.kind == FaultKind::kStuckBit) {
+      // Stuck-at bits are levels, not events: re-asserted on every step of
+      // the window, no chance draw. Logged only when the bit actually moves.
+      if (memory_ == nullptr) continue;
+      const std::uint32_t mask = 1u << entry.bit;
+      const std::uint32_t word = memory_->read_word(entry.address);
+      const std::uint32_t forced =
+          entry.stuck_value ? (word | mask) : (word & ~mask);
+      if (forced != word) {
+        memory_->write_word(entry.address, forced);
+        record(step, entry.describe());
+      }
+      continue;
+    }
+
+    // Event-style faults: one chance draw per active step, always consumed
+    // so the stream depends only on (seed, plan, step), not on bindings.
+    if (!rng_.next_chance(entry.prob_num, entry.prob_den)) continue;
+
+    switch (entry.kind) {
+      case FaultKind::kBitFlip: {
+        const std::uint32_t bit =
+            static_cast<std::uint32_t>(rng_.next_below(32));
+        if (memory_ == nullptr) break;
+        const std::uint32_t word = memory_->read_word(entry.address);
+        memory_->write_word(entry.address, word ^ (1u << bit));
+        std::ostringstream text;
+        text << entry.describe() << " bit " << bit;
+        record(step, text.str());
+        break;
+      }
+      case FaultKind::kFlashFail:
+        if (flash_ == nullptr) break;
+        flash_->inject_fault(to_flash_op(entry.flash_op));
+        record(step, entry.describe());
+        break;
+      case FaultKind::kCanFault: {
+        // The corrupt mask is drawn even when no controller is bound, to
+        // keep the rng stream binding-independent.
+        std::uint32_t mask = 0;
+        if (entry.can_op == CanFaultOp::kCorrupt) {
+          mask = static_cast<std::uint32_t>(rng_.next_u64());
+          if (mask == 0) mask = 1;
+        }
+        if (can_ == nullptr) break;
+        switch (entry.can_op) {
+          case CanFaultOp::kCorrupt: can_->fault_corrupt_next_tx(mask); break;
+          case CanFaultOp::kDrop: can_->fault_drop_next_tx(); break;
+          case CanFaultOp::kDelay:
+            can_->fault_delay_next_tx(entry.delay_ticks);
+            break;
+        }
+        record(step, entry.describe());
+        break;
+      }
+      case FaultKind::kClockJitter:
+        if (clock_ == nullptr) break;
+        clock_->inject_spurious_posedge();
+        record(step, entry.describe());
+        break;
+      case FaultKind::kStuckBit:
+        break;  // handled above
+    }
+  }
+}
+
+std::string FaultEngine::log_text() const {
+  std::ostringstream out;
+  for (const FaultRecord& rec : log_) {
+    out << "step " << rec.step << ": " << rec.text << "\n";
+  }
+  if (injected_ > log_.size()) {
+    out << "(" << injected_ - log_.size()
+        << " more faults injected, log limit reached)\n";
+  }
+  return out.str();
+}
+
+}  // namespace esv::fault

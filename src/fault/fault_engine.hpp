@@ -1,0 +1,99 @@
+// FaultEngine: the imperative half of the fault-injection subsystem.
+//
+// The engine executes a resolved FaultPlan against a set of bound hardware
+// targets. It is driven once per temporal step — the campaign supervisor
+// calls on_step(step) on every program-counter event (approach 2) or clock
+// posedge (approach 1) — and applies every plan entry whose window covers
+// the step and whose per-step chance fires:
+//
+//   bitflip / stuckbit -> mem::AddressSpace word writes (globals in RAM)
+//   flashfail          -> flash::FlashController::inject_fault(op)
+//   canfault           -> can::CanController TX corrupt / drop / delay hooks
+//   clockjitter        -> sim::Clock::inject_spurious_posedge()
+//
+// Determinism: the engine owns a private Rng seeded from the run seed mixed
+// with a fault-stream constant, so fault randomness never perturbs the
+// stimulus stream and vice versa. Plan entries are evaluated in plan order
+// on every step, and chance draws depend only on (seed, plan, step), so the
+// injected-fault sequence — and the FaultLog — is a pure function of the
+// configuration, independent of thread scheduling or wall clock.
+//
+// Entries whose target kind is not bound (e.g. a flashfail plan run on a
+// platform without a flash controller) still consume their chance draws but
+// inject nothing; binding is part of the configuration, so this too is
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace esv::mem {
+class AddressSpace;
+}
+namespace esv::flash {
+class FlashController;
+}
+namespace esv::can {
+class CanController;
+}
+namespace esv::sim {
+class Clock;
+}
+
+namespace esv::fault {
+
+/// One injected fault, for the per-run log.
+struct FaultRecord {
+  std::uint64_t step = 0;
+  std::string text;  // deterministic description of what was injected
+};
+
+class FaultEngine {
+ public:
+  /// `plan` must outlive the engine and must be resolved. `log_limit` caps
+  /// the number of detailed FaultRecords kept (the injected-fault *count* is
+  /// always exact); 0 keeps every record.
+  FaultEngine(const FaultPlan& plan, std::uint64_t seed,
+              std::size_t log_limit = 64);
+
+  // --- target binding (all optional) ---
+  void bind_memory(mem::AddressSpace& memory) { memory_ = &memory; }
+  void bind_flash(flash::FlashController& flash) { flash_ = &flash; }
+  void bind_can(can::CanController& can) { can_ = &can; }
+  void bind_clock(sim::Clock& clock) { clock_ = &clock; }
+
+  /// Applies every plan entry active at `step`. Call exactly once per
+  /// temporal step, with a monotonically advancing step number.
+  void on_step(std::uint64_t step);
+
+  /// Total faults injected so far (exact, unaffected by the log limit).
+  std::uint64_t injected_count() const { return injected_; }
+
+  /// Detailed records of the first `log_limit` injections.
+  const std::vector<FaultRecord>& log() const { return log_; }
+
+  /// Deterministic multi-line rendering of the log; notes how many records
+  /// were suppressed by the log limit.
+  std::string log_text() const;
+
+ private:
+  void record(std::uint64_t step, std::string text);
+
+  const FaultPlan& plan_;
+  common::Rng rng_;
+  std::size_t log_limit_;
+
+  mem::AddressSpace* memory_ = nullptr;
+  flash::FlashController* flash_ = nullptr;
+  can::CanController* can_ = nullptr;
+  sim::Clock* clock_ = nullptr;
+
+  std::uint64_t injected_ = 0;
+  std::vector<FaultRecord> log_;
+};
+
+}  // namespace esv::fault

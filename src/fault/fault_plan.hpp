@@ -1,0 +1,108 @@
+// Fault plans: the declarative half of the fault-injection subsystem.
+//
+// A FaultPlan is a list of fault directives — what to break, where, when,
+// and how often. Plans come from a standalone plan file (`--faults=FILE`)
+// or from `fault ...` lines embedded in an ESV spec file; both use the same
+// one-directive-per-line syntax:
+//
+//   # kind target [args] [window LO..HI] [prob N/D]
+//   bitflip  led            window 100..500 prob 1/50   # flip a random bit
+//   stuckbit eee_state 2 1  window 0..1000              # bit 2 stuck at 1
+//   flashfail erase         window 0..9999  prob 1/10   # next erase fails
+//   canfault corrupt        prob 1/20                   # corrupt next TX frame
+//   canfault delay 8        window 50..90               # next TX +8 busy ticks
+//   clockjitter             window 200..220 prob 1/4    # spurious clock edge
+//
+// `window LO..HI` bounds the fault to temporal steps [LO, HI] (inclusive;
+// default: the whole run). `prob N/D` is the per-step chance of injecting
+// while the window is active (default 1/1). `stuckbit` ignores `prob`: a
+// stuck-at bit is re-asserted on every step of its window.
+//
+// Memory-fault targets (`bitflip`, `stuckbit`) name a global variable of
+// the program under verification; FaultPlan::resolve() turns names into
+// addresses before any run starts, so a plan naming an unknown global is a
+// configuration error, never a mid-campaign surprise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esv::fault {
+
+/// Raised on malformed fault-plan text or unresolvable targets.
+class FaultPlanError : public std::runtime_error {
+ public:
+  FaultPlanError(const std::string& message, int line)
+      : std::runtime_error("fault plan line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+enum class FaultKind {
+  kBitFlip,      // flip one random bit of a global (memory)
+  kStuckBit,     // force one bit of a global to 0/1 (memory)
+  kFlashFail,    // arm a transient flash command failure
+  kCanFault,     // corrupt / drop / delay the next CAN transmission
+  kClockJitter,  // fire a spurious clock posedge
+};
+
+enum class FlashFailOp { kAny, kErase, kProgram };
+enum class CanFaultOp { kCorrupt, kDrop, kDelay };
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kBitFlip;
+
+  std::string target;         // global name (memory faults)
+  std::uint32_t address = 0;  // resolved byte address (memory faults)
+  bool resolved = false;
+
+  std::uint32_t bit = 0;          // stuckbit: bit index 0..31
+  std::uint32_t stuck_value = 0;  // stuckbit: forced value, 0 or 1
+
+  FlashFailOp flash_op = FlashFailOp::kAny;
+  CanFaultOp can_op = CanFaultOp::kCorrupt;
+  std::uint32_t delay_ticks = 4;  // canfault delay
+
+  std::uint64_t from = 0;  // active step window, inclusive
+  std::uint64_t until = UINT64_MAX;
+  std::uint32_t prob_num = 1;  // per-step injection chance num/den
+  std::uint32_t prob_den = 1;
+
+  int line = 0;  // source line, for diagnostics
+
+  bool active_at(std::uint64_t step) const {
+    return step >= from && step <= until;
+  }
+  /// Deterministic one-line rendering (used by fault logs and tests).
+  std::string describe() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> entries;
+
+  bool empty() const { return entries.empty(); }
+
+  /// Resolves every memory-fault target. The resolver returns true and fills
+  /// the address for a known (scalar) global; resolve() throws
+  /// FaultPlanError for anything it cannot resolve.
+  void resolve(
+      const std::function<bool(const std::string&, std::uint32_t&)>& resolver);
+};
+
+/// Parses a whole fault-plan file: one directive per line, blank lines and
+/// '#' comments ignored. Throws FaultPlanError on malformed input.
+FaultPlan parse_plan(std::string_view text);
+
+/// Parses a single directive (the remainder of a spec-file `fault` line).
+/// `line` is the source line number used in diagnostics.
+FaultSpec parse_fault_line(std::string_view text, int line);
+
+}  // namespace esv::fault

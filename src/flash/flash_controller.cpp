@@ -72,7 +72,13 @@ void FlashController::mmio_write(std::uint32_t offset, std::uint32_t value) {
       error_ = false;
       return;
     case kRegInject:
-      if (value != 0) inject_fault_ = true;
+      if (value == 2) {
+        inject_fault(FaultOp::kErase);
+      } else if (value == 3) {
+        inject_fault(FaultOp::kProgram);
+      } else if (value != 0) {
+        inject_fault(FaultOp::kAny);
+      }
       return;
     default:
       return;
@@ -92,8 +98,13 @@ void FlashController::start_command(std::uint32_t cmd) {
     return;
   }
   active_cmd_ = cmd;
-  active_fails_ = inject_fault_;
-  inject_fault_ = false;
+  const bool fault_matches =
+      inject_fault_ &&
+      (inject_op_ == FaultOp::kAny ||
+       (inject_op_ == FaultOp::kErase && cmd == kCmdErasePage) ||
+       (inject_op_ == FaultOp::kProgram && cmd == kCmdProgramWord));
+  active_fails_ = fault_matches;
+  if (fault_matches) inject_fault_ = false;
   busy_ticks_ = cmd == kCmdErasePage ? config_.erase_busy_ticks
                                      : config_.program_busy_ticks;
   if (busy_ticks_ == 0) complete_command();

@@ -14,8 +14,9 @@
 //   +0x08 DATA    (rw) program data / last read data
 //   +0x0C STATUS  (r)  bit0 BUSY, bit1 ERROR, bit2 READY (= !busy)
 //   +0x10 ACK     (w) any value clears the ERROR bit
-//   +0x14 INJECT  (w) 1 = fail the next command (test hook; stimulus uses
-//                     the C++ API instead)
+//   +0x14 INJECT  (w) 1 = fail the next command, 2 = fail the next erase,
+//                     3 = fail the next program (test hook; stimulus and the
+//                     fault engine use the C++ API instead)
 //
 // The flash array itself is readable (and only readable) at
 // [kArrayOffset, kArrayOffset + size); erased cells read kErasedWord.
@@ -76,8 +77,18 @@ class FlashController final : public mem::MmioDevice {
   void backdoor_write(std::uint32_t byte_offset, std::uint32_t value);
   /// Erases everything (power-on state is all-erased).
   void erase_all();
-  /// Makes the next command fail with the ERROR bit (fault injection).
-  void inject_fault() { inject_fault_ = true; }
+
+  /// Command kinds a pending injected fault applies to. A targeted fault
+  /// stays armed until a matching command starts; kAny fails the very next
+  /// command (the historic behaviour).
+  enum class FaultOp : std::uint32_t { kAny = 0, kErase = 1, kProgram = 2 };
+
+  /// Makes the next matching command fail with the ERROR bit (fault
+  /// injection: transient erase/program failures).
+  void inject_fault(FaultOp op = FaultOp::kAny) {
+    inject_fault_ = true;
+    inject_op_ = op;
+  }
 
   std::uint64_t erase_count() const { return erase_count_; }
   std::uint64_t program_count() const { return program_count_; }
@@ -93,6 +104,7 @@ class FlashController final : public mem::MmioDevice {
   std::uint32_t reg_data_ = 0;
   bool error_ = false;
   bool inject_fault_ = false;
+  FaultOp inject_op_ = FaultOp::kAny;
 
   std::uint32_t busy_ticks_ = 0;
   std::uint32_t active_cmd_ = 0;

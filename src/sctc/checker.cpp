@@ -21,6 +21,32 @@ bool compare(std::uint32_t lhs, Compare op, std::uint32_t rhs) {
 
 }  // namespace
 
+FaultClass classify_under_fault(temporal::Verdict verdict, bool run_errored) {
+  switch (verdict) {
+    case temporal::Verdict::kValidated:
+      return FaultClass::kHeldUnderFault;
+    case temporal::Verdict::kViolated:
+      return FaultClass::kViolatedUnderFault;
+    case temporal::Verdict::kPending:
+      // Undecided at end of run: a clean run means the property survived
+      // the whole fault schedule; an aborted run means the monitor never
+      // got to finish — that is an error, not a property result.
+      return run_errored ? FaultClass::kMonitorError
+                         : FaultClass::kHeldUnderFault;
+  }
+  return FaultClass::kMonitorError;
+}
+
+const char* fault_class_name(FaultClass fault_class) {
+  switch (fault_class) {
+    case FaultClass::kNotApplicable: return "n/a";
+    case FaultClass::kHeldUnderFault: return "held";
+    case FaultClass::kViolatedUnderFault: return "violated";
+    case FaultClass::kMonitorError: return "monitor-error";
+  }
+  return "n/a";
+}
+
 bool MemoryWordProposition::is_true() {
   return compare(memory_->sctc_read_uint(address_), op_, value_);
 }

@@ -33,6 +33,30 @@ namespace esv::sctc {
 
 enum class MonitorMode { kProgression, kSynthesizedAutomaton };
 
+/// Robustness classification of a property verdict under fault injection.
+/// Fault campaigns use it to separate software robustness bugs from
+/// expected degradation:
+///   kHeldUnderFault     — validated, or still undecided when the run ended
+///                         cleanly: the property survived the faults
+///   kViolatedUnderFault — the monitor reached a definitive violation while
+///                         faults were being injected
+///   kMonitorError       — the run aborted (SUT fault, watchdog timeout,
+///                         infrastructure error) before the monitor decided;
+///                         the verdict is unusable, not a property result
+enum class FaultClass {
+  kNotApplicable,  // nominal run, no faults configured
+  kHeldUnderFault,
+  kViolatedUnderFault,
+  kMonitorError,
+};
+
+/// Classifies a final verdict from a fault-injection run. `run_errored` is
+/// true when the run aborted before completing (error or timeout).
+FaultClass classify_under_fault(temporal::Verdict verdict, bool run_errored);
+
+/// Stable lower-case name ("held", "violated", "monitor-error", "n/a").
+const char* fault_class_name(FaultClass fault_class);
+
 /// Per-property state and result.
 struct PropertyRecord {
   std::string name;

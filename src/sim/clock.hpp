@@ -21,9 +21,18 @@ class Clock final : public Module {
   Event& negedge_event() { return negedge_; }
 
   bool value() const { return value_; }
-  /// Number of posedges seen so far.
+  /// Number of posedges seen so far (spurious injected edges included).
   std::uint64_t cycles() const { return cycles_; }
   Time period() const { return period_; }
+
+  /// Fault-injection hook (fault::FaultEngine): fires one spurious
+  /// out-of-phase posedge immediately. Waiters and statically sensitive
+  /// methods run exactly as for a real edge, and cycles() counts it, so a
+  /// checker triggered on the clock takes an extra temporal step.
+  void inject_spurious_posedge() {
+    ++cycles_;
+    posedge_.notify();
+  }
 
  private:
   Task generate();

@@ -146,6 +146,18 @@ SpecFile parse_spec(std::string_view text) {
       continue;
     }
 
+    if (w[0] == "fault") {
+      // fault KIND [ARGS...] — stored raw, parsed by the fault subsystem.
+      if (w.size() < 2) {
+        throw SpecError("expected: fault KIND [ARGS...]", line_no);
+      }
+      FaultLineSpec fault;
+      fault.line = line_no;
+      fault.text = std::string(common::trim(line.substr(5)));
+      spec.fault_lines.push_back(std::move(fault));
+      continue;
+    }
+
     throw SpecError("unknown directive '" + w[0] + "'", line_no);
   }
   return spec;

@@ -11,7 +11,8 @@
 //   check  response: G (reading -> F[2000] ok)
 //   check  psl_response psl: always (reading -> eventually! ok)
 //
-// Lines: blank, '#' comments, `input`, `prop`, `check`. Proposition
+// Lines: blank, '#' comments, `input`, `prop`, `check`, `fault` (a fault-
+// injection directive, see docs/FAULTS.md). Proposition
 // right-hand sides are <global> <op> <value> where <op> is one of
 // == != < <= > >=, <global> may be `fname`, and <value> is an integer
 // literal (decimal or 0x hex), an enum constant of the program, or — when
@@ -64,10 +65,19 @@ struct InputSpec {
   int line = 0;
 };
 
+/// A `fault` directive, stored as raw text. The spec layer does not depend
+/// on the fault subsystem; consumers (campaign runner, esv-verify) parse
+/// the text with fault::parse_fault_line. docs/FAULTS.md has the syntax.
+struct FaultLineSpec {
+  std::string text;  // the directive with the leading `fault` stripped
+  int line = 0;
+};
+
 struct SpecFile {
   std::vector<PropositionSpec> propositions;
   std::vector<PropertySpec> properties;
   std::vector<InputSpec> inputs;
+  std::vector<FaultLineSpec> fault_lines;
 };
 
 /// Parses the text of a spec file. Throws SpecError on malformed input.

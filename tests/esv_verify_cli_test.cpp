@@ -130,6 +130,93 @@ TEST(EsvVerifyCliTest, CampaignRunsAndWritesReport) {
   EXPECT_NE(json.find("\"per_property\""), std::string::npos);
 }
 
+TEST(EsvVerifyCliTest, BadFaultAndHardeningOptionsExitTwo) {
+  for (const char* flag :
+       {"--seed-timeout=banana", "--seed-timeout=-1", "--seed-timeout=",
+        "--seed-retries=x", "--seed-retries="}) {
+    const RunResult r = run_cli(sample_args() + " " + flag);
+    EXPECT_EQ(r.exit_code, 2) << flag << "\n" << r.output;
+  }
+
+  const RunResult no_plan =
+      run_cli(sample_args() + " --faults=/nonexistent/plan.flt");
+  EXPECT_EQ(no_plan.exit_code, 2);
+  EXPECT_NE(no_plan.output.find("cannot open"), std::string::npos);
+
+  const std::string bad_plan = ::testing::TempDir() + "/bad_plan.flt";
+  std::ofstream(bad_plan) << "bitflip led\nexplode everything\n";
+  const RunResult malformed =
+      run_cli(sample_args() + " --faults=" + bad_plan);
+  EXPECT_EQ(malformed.exit_code, 2) << malformed.output;
+  EXPECT_NE(malformed.output.find("fault plan line 2"), std::string::npos)
+      << malformed.output;
+
+  // Unresolvable targets are configuration errors in campaign mode too.
+  const std::string bad_target = ::testing::TempDir() + "/bad_target.flt";
+  std::ofstream(bad_target) << "bitflip no_such_global\n";
+  const RunResult unresolved = run_cli(sample_args() + " --campaign=1..2" +
+                                       " --faults=" + bad_target);
+  EXPECT_EQ(unresolved.exit_code, 2) << unresolved.output;
+  EXPECT_NE(unresolved.output.find("cannot resolve fault target"),
+            std::string::npos)
+      << unresolved.output;
+}
+
+TEST(EsvVerifyCliTest, SingleRunWithFaultsPrintsTheLog) {
+  const std::string plan = ::testing::TempDir() + "/flip_led.flt";
+  std::ofstream(plan) << "bitflip led window 50..50\n";
+  const RunResult r = run_cli(sample_args() + " --faults=" + plan);
+  // The flipped bit usually breaks `legal` (exit 1); a bit-0 flip can
+  // survive (exit 0). Either way the run completes and reports the log.
+  EXPECT_TRUE(r.exit_code == 0 || r.exit_code == 1) << r.output;
+  EXPECT_NE(r.output.find("faults injected: 1"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("bitflip led bit"), std::string::npos) << r.output;
+}
+
+TEST(EsvVerifyCliTest, FaultCampaignDeterministicAcrossJobs) {
+  const std::string plan = ::testing::TempDir() + "/campaign_plan.flt";
+  std::ofstream(plan) << "bitflip led prob 1/40\n";
+  const std::string base =
+      sample_args() + " --campaign=0..63 --faults=" + plan + " --quiet";
+  const RunResult one = run_cli(base);
+  const RunResult eight = run_cli(base + " --jobs=8");
+  EXPECT_EQ(one.exit_code, eight.exit_code);
+  EXPECT_EQ(one.output, eight.output);
+  EXPECT_NE(one.output.find("faults:"), std::string::npos) << one.output;
+}
+
+TEST(EsvVerifyCliTest, RuntimeVerificationErrorExitsThree) {
+  // The program draws an input the spec never constrains: configuration
+  // parses fine, but the run itself fails — exit 3 with one diagnostic line.
+  const std::string prog = ::testing::TempDir() + "/unconstrained.c";
+  std::ofstream(prog) << "int x;\nvoid main(void) { x = __in(mystery); }\n";
+  const std::string spec = ::testing::TempDir() + "/unconstrained.esv";
+  // p is never true, so the property cannot decide and stop the run before
+  // the unconstrained draw executes.
+  std::ofstream(spec) << "prop p = x == 1\ncheck c: F p\n";
+  const RunResult r = run_cli(prog + " " + spec);
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("runtime error:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("unconstrained input"), std::string::npos)
+      << r.output;
+}
+
+TEST(EsvVerifyCliTest, CampaignSeedTimeoutRecordsTimeoutsAndExitsOne) {
+  const std::string prog = ::testing::TempDir() + "/hang.c";
+  std::ofstream(prog) << "int spin;\nvoid main(void) {\n  spin = 1;\n"
+                      << "  while (spin == 1) { spin = __in(hang); }\n}\n";
+  const std::string spec = ::testing::TempDir() + "/hang.esv";
+  std::ofstream(spec) << "input hang 1 1\nprop done = spin == 2\n"
+                      << "check free: F done\n";
+  const RunResult r = run_cli(prog + " " + spec +
+                              " --campaign=1..2 --jobs=2" +
+                              " --max-steps=999999999999" +
+                              " --seed-timeout=0.25 --quiet");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("2 timed out"), std::string::npos) << r.output;
+}
+
 TEST(EsvVerifyCliTest, CampaignVerdictTableIdenticalAcrossJobs) {
   // The wall/seeds-per-second line is timing; --quiet prints the
   // deterministic summary only.

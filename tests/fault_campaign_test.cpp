@@ -1,0 +1,289 @@
+// Fault-injection campaigns and the hardened campaign runner: determinism of
+// fault logs across jobs counts, verdict classification under fault, the
+// per-seed watchdog, structured error capture, and the bounded retry policy.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace esv::campaign {
+namespace {
+
+const char* kBlinker = R"(
+enum { LED_OFF = 0, LED_ON = 1 };
+
+int led;
+int ticks_on;
+int cycles;
+
+void update(int enable) {
+  if (enable == 1) {
+    if (led == LED_OFF) {
+      led = LED_ON;
+    } else {
+      led = LED_OFF;
+    }
+  } else {
+    led = LED_OFF;
+  }
+  if (led == LED_ON) {
+    ticks_on = ticks_on + 1;
+  }
+}
+
+void main(void) {
+  led = LED_OFF;
+  ticks_on = 0;
+  while (cycles < 200) {
+    int enable = __in(enable);
+    update(enable);
+    cycles = cycles + 1;
+  }
+}
+)";
+
+const char* kBlinkerSpec = R"(
+input enable 0 1
+
+prop led_on    = led == LED_ON
+prop led_off   = led == LED_OFF
+prop finished  = cycles >= 200
+
+check legal: G (led_on || led_off)
+check terminates: F finished
+)";
+
+CampaignConfig fault_config(std::uint64_t lo, std::uint64_t hi,
+                            unsigned jobs) {
+  CampaignConfig config;
+  config.program_source = kBlinker;
+  config.spec_text = kBlinkerSpec;
+  config.seed_lo = lo;
+  config.seed_hi = hi;
+  config.jobs = jobs;
+  // Flip random bits of `led`: G (led_on || led_off) is violated whenever a
+  // flip lands outside bit 0, so some seeds violate and some hold.
+  config.fault_plan_text = "bitflip led prob 1/40\n";
+  return config;
+}
+
+TEST(FaultCampaignTest, FaultLogsAndVerdictsDeterministicAcrossJobs) {
+  const CampaignReport serial = run(fault_config(1, 24, 1));
+  const CampaignReport parallel = run(fault_config(1, 24, 8));
+
+  EXPECT_EQ(serial.verdict_table(), parallel.verdict_table());
+  EXPECT_EQ(serial.to_json(/*include_timing=*/false),
+            parallel.to_json(/*include_timing=*/false));
+  ASSERT_EQ(serial.seeds.size(), parallel.seeds.size());
+  for (std::size_t i = 0; i < serial.seeds.size(); ++i) {
+    EXPECT_EQ(serial.seeds[i].injected_faults,
+              parallel.seeds[i].injected_faults);
+    EXPECT_EQ(serial.seeds[i].fault_log, parallel.seeds[i].fault_log)
+        << "seed " << serial.seeds[i].seed;
+  }
+  EXPECT_TRUE(serial.fault_campaign);
+  EXPECT_EQ(serial.fault_plan_entries, 1u);
+  EXPECT_GT(serial.injected_faults_total, 0u);
+}
+
+TEST(FaultCampaignTest, FaultStreamDoesNotPerturbStimulus) {
+  // The same seeds with and without a fault plan draw the identical stimulus
+  // stream (the fault engine has its own rng): a plan whose faults never
+  // change behaviour (stuck-at on a bit that is already 0 most of the run
+  // cannot alter draw counts).
+  CampaignConfig nominal = fault_config(1, 8, 2);
+  nominal.fault_plan_text.clear();
+  CampaignConfig faulty = fault_config(1, 8, 2);
+  faulty.fault_plan_text = "clockjitter prob 1/2\n";  // no clock in approach 2
+
+  const CampaignReport a = run(nominal);
+  const CampaignReport b = run(faulty);
+  ASSERT_EQ(a.seeds.size(), b.seeds.size());
+  for (std::size_t i = 0; i < a.seeds.size(); ++i) {
+    EXPECT_EQ(a.seeds[i].draws, b.seeds[i].draws);
+    EXPECT_EQ(a.seeds[i].steps, b.seeds[i].steps);
+  }
+}
+
+TEST(FaultCampaignTest, SpecFaultLinesMergeWithPlanFile) {
+  CampaignConfig config = fault_config(1, 4, 2);
+  config.spec_text = std::string(kBlinkerSpec) +
+                     "\nfault stuckbit ticks_on 7 0 window 0..100\n";
+  const CampaignReport report = run(config);
+  EXPECT_TRUE(report.fault_campaign);
+  EXPECT_EQ(report.fault_plan_entries, 2u);  // --faults entry + spec entry
+}
+
+TEST(FaultCampaignTest, ClassifiesVerdictsUnderFault) {
+  const CampaignReport report = run(fault_config(1, 32, 4));
+  ASSERT_TRUE(report.fault_campaign);
+
+  // Every (seed, property) gets a classification, and the totals tally up.
+  std::uint64_t classified = 0;
+  for (const SeedResult& seed : report.seeds) {
+    for (const PropertyOutcome& outcome : seed.properties) {
+      EXPECT_NE(outcome.fault_class, sctc::FaultClass::kNotApplicable);
+      ++classified;
+      if (outcome.verdict == temporal::Verdict::kViolated) {
+        EXPECT_EQ(outcome.fault_class,
+                  sctc::FaultClass::kViolatedUnderFault);
+      }
+    }
+  }
+  EXPECT_EQ(report.held_under_fault_total +
+                report.violated_under_fault_total + report.monitor_error_total,
+            classified);
+  // The bitflip plan violates `legal` on some seeds and leaves others clean.
+  EXPECT_GT(report.violated_under_fault_total, 0u);
+  EXPECT_GT(report.held_under_fault_total, 0u);
+
+  // A nominal campaign stays entirely unclassified.
+  CampaignConfig nominal = fault_config(1, 2, 1);
+  nominal.fault_plan_text.clear();
+  const CampaignReport clean = run(nominal);
+  EXPECT_FALSE(clean.fault_campaign);
+  for (const SeedResult& seed : clean.seeds) {
+    for (const PropertyOutcome& outcome : seed.properties) {
+      EXPECT_EQ(outcome.fault_class, sctc::FaultClass::kNotApplicable);
+    }
+  }
+}
+
+TEST(FaultCampaignTest, BadPlansAreConfigurationErrors) {
+  CampaignConfig config = fault_config(1, 2, 1);
+  config.fault_plan_text = "bitflip no_such_global\n";
+  EXPECT_THROW(run(config), fault::FaultPlanError);
+
+  config.fault_plan_text = "explode everything\n";
+  EXPECT_THROW(run(config), fault::FaultPlanError);
+
+  // Arrays are not scalar fault targets.
+  config = fault_config(1, 2, 1);
+  config.program_source =
+      "int table[4];\nint ok;\nvoid main(void) { table[0] = 1; ok = 1; }";
+  config.spec_text = "prop p = ok == 0\ncheck c: F p";
+  config.fault_plan_text = "bitflip table\n";
+  EXPECT_THROW(run(config), fault::FaultPlanError);
+}
+
+TEST(FaultCampaignTest, WatchdogStopsHungSeedsWithoutAbortingTheSweep) {
+  CampaignConfig config;
+  // `hang` is constrained to 1, so the loop never exits; only the watchdog
+  // can end the seed.
+  config.program_source = R"(
+int spin;
+void main(void) {
+  spin = 1;
+  while (spin == 1) {
+    spin = __in(hang);
+  }
+}
+)";
+  // `spin` is only ever 0 or 1, so the property stays pending forever and
+  // never stops the run by itself.
+  config.spec_text = R"(
+input hang 1 1
+prop done = spin == 2
+check free: F done
+)";
+  config.seed_lo = 1;
+  config.seed_hi = 2;
+  config.jobs = 2;
+  config.max_steps = 1ULL << 62;  // effectively unbounded
+  config.seed_timeout_seconds = 0.25;
+
+  const CampaignReport report = run(config);
+  ASSERT_EQ(report.seeds.size(), 2u);
+  EXPECT_EQ(report.error_seeds, 2u);
+  EXPECT_EQ(report.timeout_seeds, 2u);
+  for (const SeedResult& seed : report.seeds) {
+    EXPECT_EQ(seed.error_kind, "timeout");
+    EXPECT_NE(seed.error.find("watchdog"), std::string::npos) << seed.error;
+    EXPECT_FALSE(seed.finished);
+  }
+  // The timeout is part of the JSON report.
+  EXPECT_NE(report.to_json(false).find("\"error_kind\": \"timeout\""),
+            std::string::npos);
+}
+
+TEST(FaultCampaignTest, InfrastructureErrorsAreRecordedAndRetried) {
+  CampaignConfig config;
+  // `__in(mystery)` is never constrained by the spec, so the stimulus
+  // provider throws — an infrastructure error, not a fault of the SUT.
+  config.program_source = R"(
+int x;
+void main(void) {
+  x = __in(mystery);
+}
+)";
+  // Never-true proposition: the property stays pending, so the checker
+  // cannot stop the run before the failing input draw executes.
+  config.spec_text = R"(
+prop any = x == 9
+check c: F any
+)";
+  config.seed_lo = 1;
+  config.seed_hi = 3;
+  config.jobs = 2;
+  config.seed_retries = 2;
+
+  // The campaign must complete (the old runner rethrew the first worker
+  // exception and lost the message).
+  const CampaignReport report = run(config);
+  ASSERT_EQ(report.seeds.size(), 3u);
+  EXPECT_EQ(report.error_seeds, 3u);
+  EXPECT_EQ(report.retried_seeds, 3u);
+  for (const SeedResult& seed : report.seeds) {
+    EXPECT_EQ(seed.error_kind, "infrastructure");
+    EXPECT_NE(seed.error.find("unconstrained input"), std::string::npos)
+        << seed.error;
+    EXPECT_EQ(seed.attempts, 3u);  // 1 attempt + 2 retries
+  }
+
+  // SUT faults are never retried.
+  CampaignConfig sut = config;
+  sut.program_source = R"(
+int x;
+void main(void) {
+  x = __in(v);
+  assert(x > 9);
+}
+)";
+  sut.spec_text = R"(
+input v 0 1
+prop any = x == 9
+check c: F any
+)";
+  const CampaignReport sut_report = run(sut);
+  for (const SeedResult& seed : sut_report.seeds) {
+    EXPECT_EQ(seed.error_kind, "sut");
+    EXPECT_NE(seed.error.find("assertion failed"), std::string::npos);
+    EXPECT_EQ(seed.attempts, 1u);
+  }
+}
+
+TEST(FaultCampaignTest, ApproachOneFaultCampaignIsDeterministic) {
+  CampaignConfig config = fault_config(1, 4, 1);
+  config.approach = 1;
+  config.max_steps = 2'000'000;
+  config.spec_text = R"(
+input enable 0 1
+prop led_on    = led == LED_ON
+prop led_off   = led == LED_OFF
+prop finished  = cycles >= 200
+check legal: G (led_on || led_off)
+check terminates: F finished
+)";
+  // Clock jitter is live in approach 1 (the CPU model runs off the clock).
+  config.fault_plan_text = "bitflip led prob 1/100\nclockjitter prob 1/200\n";
+  const CampaignReport serial = run(config);
+  config.jobs = 4;
+  const CampaignReport parallel = run(config);
+  EXPECT_EQ(serial.verdict_table(), parallel.verdict_table());
+  EXPECT_EQ(serial.to_json(false), parallel.to_json(false));
+}
+
+}  // namespace
+}  // namespace esv::campaign

@@ -11,6 +11,7 @@
 //     --mode=progression|automaton   monitor mode (default progression)
 //     --vcd=FILE           dump a waveform of all propositions
 //     --witness=N          keep the last N steps as a violation witness
+//     --faults=FILE        inject faults from a fault plan (docs/FAULTS.md)
 //     --quiet              only print the final verdict table
 //
 //   Campaign mode (docs/CAMPAIGN.md) replaces the single run by a
@@ -18,10 +19,15 @@
 //     --campaign=LO..HI    verify every seed in [LO, HI] (inclusive)
 //     --jobs=N             campaign worker threads (default 1)
 //     --report=FILE        write the JSON campaign report to FILE
+//     --seed-timeout=SECS  per-seed wall-clock watchdog (default off)
+//     --seed-retries=N     retries for infrastructure errors (default 0)
 //
 // Exit code: 0 when no property is violated, 1 on violation (in campaign
-// mode: any violated or errored seed), 2 on usage or input errors.
+// mode: any violated or errored seed), 2 on usage or input errors, 3 when
+// the verification run itself fails at runtime (simulation or interpreter
+// error escaping the configured run).
 #include <charconv>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -34,6 +40,8 @@
 #include "cpu/codegen.hpp"
 #include "cpu/cpu.hpp"
 #include "esw/esw_model.hpp"
+#include "fault/fault_engine.hpp"
+#include "fault/fault_plan.hpp"
 #include "minic/sema.hpp"
 #include "sim/vcd.hpp"
 #include "spec/specfile.hpp"
@@ -54,10 +62,13 @@ struct Options {
   std::string vcd_path;
   std::size_t witness = 0;
   bool quiet = false;
+  std::string faults_path;
   // Campaign mode.
   std::optional<std::pair<std::uint64_t, std::uint64_t>> campaign;
   unsigned jobs = 1;
   std::string report_path;
+  double seed_timeout = 0.0;
+  unsigned seed_retries = 0;
 };
 
 bool parse_u64(std::string_view text, std::uint64_t& out) {
@@ -129,6 +140,23 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
       options.jobs = static_cast<unsigned>(jobs);
     } else if (value_of("--report=", value)) {
       options.report_path = value;
+    } else if (value_of("--faults=", value)) {
+      options.faults_path = value;
+    } else if (value_of("--seed-timeout=", value)) {
+      char* end = nullptr;
+      const double seconds = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          !(seconds >= 0.0)) {
+        error = "--seed-timeout must be a non-negative number of seconds";
+        return false;
+      }
+      options.seed_timeout = seconds;
+    } else if (value_of("--seed-retries=", value)) {
+      if (!parse_u64(value, number)) {
+        error = "--seed-retries must be an integer";
+        return false;
+      }
+      options.seed_retries = static_cast<unsigned>(number);
     } else if (value_of("--vcd=", value)) {
       options.vcd_path = value;
     } else if (value_of("--witness=", value)) {
@@ -191,6 +219,11 @@ int main(int argc, char** argv) {
       config.seed_hi = options.campaign->second;
       config.jobs = options.jobs;
       config.witness_depth = options.witness;
+      if (!options.faults_path.empty()) {
+        config.fault_plan_text = read_file(options.faults_path);
+      }
+      config.seed_timeout_seconds = options.seed_timeout;
+      config.seed_retries = options.seed_retries;
 
       const campaign::CampaignReport report = campaign::run(config);
       std::cout << (options.quiet ? report.summary() : report.verdict_table());
@@ -239,6 +272,27 @@ int main(int argc, char** argv) {
     if (options.witness != 0) checker.set_witness_depth(options.witness);
     checker.set_stop_on_violation(true);
 
+    // Fault plan (still configuration: parse and resolution errors exit 2).
+    fault::FaultPlan plan;
+    if (!options.faults_path.empty()) {
+      plan = fault::parse_plan(read_file(options.faults_path));
+    }
+    for (const auto& fault_line : specfile.fault_lines) {
+      plan.entries.push_back(
+          fault::parse_fault_line(fault_line.text, fault_line.line));
+    }
+    plan.resolve([&program](const std::string& name, std::uint32_t& address) {
+      const minic::GlobalVar* global = program.find_global(name);
+      if (global == nullptr || global->is_array) return false;
+      address = global->address;
+      return true;
+    });
+    std::optional<fault::FaultEngine> faults;
+    if (!plan.empty()) {
+      faults.emplace(plan, options.seed);
+      faults->bind_memory(memory);
+    }
+
     sim::VcdTracer vcd(sim);
     const bool want_vcd = !options.vcd_path.empty();
     if (want_vcd) {
@@ -252,41 +306,52 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (options.approach == 2) {
-      esw::EswProgram lowered = esw::lower_program(program);
-      esw::EswModel model(sim, "esw", program, lowered, memory, inputs);
-      checker.bind_trigger(model.pc_event());
-      if (want_vcd) vcd.sample_on(model.pc_event());
-      sim.create_method(
-          "supervisor",
-          [&] {
-            if (model.finished() || checker.all_decided() ||
-                model.interpreter().steps_executed() >= options.max_steps) {
-              sim.stop();
-            }
-          },
-          {&model.pc_event()}, /*run_at_start=*/false);
-      sim.run();
-    } else {
-      cpu::CodeImage image = cpu::compile_to_image(program);
-      sim::Clock clock(sim, "clk", sim::Time::ns(10));
-      cpu::Cpu core(sim, "cpu", image, memory, inputs, clock);
-      core.set_stop_on_halt(true);
-      checker.bind_trigger(clock.posedge_event());
-      if (want_vcd) vcd.sample_on(clock.posedge_event());
-      sim.create_method(
-          "supervisor",
-          [&] {
-            if (checker.all_decided() ||
-                clock.cycles() >= options.max_steps) {
-              sim.stop();
-            }
-          },
-          {&clock.posedge_event()}, /*run_at_start=*/false);
-      sim.run();
-      if (core.trapped() && !options.quiet) {
-        std::cout << "CPU trapped: " << core.trap_message() << "\n";
+    // From here on errors are runtime verification failures, not
+    // configuration mistakes: a kernel spawn rejection, an interpreter
+    // fault, or a trap escaping the run exits 3 with a one-line diagnostic.
+    try {
+      if (options.approach == 2) {
+        esw::EswProgram lowered = esw::lower_program(program);
+        esw::EswModel model(sim, "esw", program, lowered, memory, inputs);
+        checker.bind_trigger(model.pc_event());
+        if (want_vcd) vcd.sample_on(model.pc_event());
+        sim.create_method(
+            "supervisor",
+            [&] {
+              if (faults) faults->on_step(checker.steps());
+              if (model.finished() || checker.all_decided() ||
+                  model.interpreter().steps_executed() >= options.max_steps) {
+                sim.stop();
+              }
+            },
+            {&model.pc_event()}, /*run_at_start=*/false);
+        sim.run();
+      } else {
+        cpu::CodeImage image = cpu::compile_to_image(program);
+        sim::Clock clock(sim, "clk", sim::Time::ns(10));
+        cpu::Cpu core(sim, "cpu", image, memory, inputs, clock);
+        core.set_stop_on_halt(true);
+        if (faults) faults->bind_clock(clock);
+        checker.bind_trigger(clock.posedge_event());
+        if (want_vcd) vcd.sample_on(clock.posedge_event());
+        sim.create_method(
+            "supervisor",
+            [&] {
+              if (faults) faults->on_step(checker.steps());
+              if (checker.all_decided() ||
+                  clock.cycles() >= options.max_steps) {
+                sim.stop();
+              }
+            },
+            {&clock.posedge_event()}, /*run_at_start=*/false);
+        sim.run();
+        if (core.trapped() && !options.quiet) {
+          std::cout << "CPU trapped: " << core.trap_message() << "\n";
+        }
       }
+    } catch (const std::exception& e) {
+      std::cerr << "runtime error: " << e.what() << "\n";
+      return 3;
     }
 
     if (want_vcd) {
@@ -294,6 +359,12 @@ int main(int argc, char** argv) {
       if (!options.quiet) {
         std::cout << "waveform: " << options.vcd_path << " ("
                   << vcd.samples() << " samples)\n";
+      }
+    }
+    if (faults) {
+      std::cout << "faults injected: " << faults->injected_count() << "\n";
+      if (!options.quiet && faults->injected_count() != 0) {
+        std::cout << faults->log_text();
       }
     }
     std::cout << checker.report();
