@@ -1,0 +1,130 @@
+// Observability overhead: what metrics collection and event tracing cost on
+// the approach-2 hot path.
+//
+// The acceptance bar (docs/OBSERVABILITY.md) is < 5% slowdown with metrics
+// enabled and tracing off — metrics are meant to be cheap enough to leave on
+// for whole campaigns. Tracing allocates a JSONL line per event, so it is
+// measured separately and is expected to cost more; it is a per-run
+// debugging tool, not a campaign default.
+//
+// Micro level: the raw counter/histogram cells (the unit the checker and
+// kernel pay per event). Macro level: a full campaign seed sweep with the
+// observability layer off / metrics / metrics+traces.
+#include <benchmark/benchmark.h>
+
+#include "campaign/campaign.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace esv;
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("bench.counter");
+  for (auto _ : state) {
+    counter.add();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("bench.hist");
+  std::uint64_t value = 0;
+  for (auto _ : state) {
+    hist.record(value++ & 0xFFFF);
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_TraceEvent(benchmark::State& state) {
+  // One prop_change line per iteration; the buffer grows like a real trace.
+  obs::TraceWriter trace;
+  std::uint64_t step = 0;
+  for (auto _ : state) {
+    trace.prop_change(++step, "led_on", (step & 1) != 0);
+    if (trace.text().size() > (1u << 22)) {
+      state.PauseTiming();
+      trace = obs::TraceWriter();
+      state.ResumeTiming();
+    }
+  }
+  benchmark::DoNotOptimize(trace.event_count());
+}
+BENCHMARK(BM_TraceEvent);
+
+// End-to-end: the blinker workload from bench_fault_overhead, approach 2,
+// 8 seeds per iteration. The nominal / metrics delta is the figure the
+// acceptance bar is about.
+const char* kProgram = R"(
+enum { LED_OFF = 0, LED_ON = 1 };
+int led;
+int ticks_on;
+int cycles;
+void update(int enable) {
+  if (enable == 1) {
+    if (led == LED_OFF) { led = LED_ON; } else { led = LED_OFF; }
+  } else {
+    led = LED_OFF;
+  }
+  if (led == LED_ON) { ticks_on = ticks_on + 1; }
+}
+void main(void) {
+  led = LED_OFF;
+  while (cycles < 2000) {
+    int enable = __in(enable);
+    update(enable);
+    cycles = cycles + 1;
+  }
+}
+)";
+
+const char* kSpec = R"(
+input enable 0 1
+prop led_on   = led == LED_ON
+prop led_off  = led == LED_OFF
+prop finished = cycles >= 2000
+check legal: G (led_on || led_off)
+check terminates: F finished
+)";
+
+void run_campaign(benchmark::State& state, bool metrics, bool traces) {
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    campaign::CampaignConfig config;
+    config.program_source = kProgram;
+    config.spec_text = kSpec;
+    config.seed_lo = 1;
+    config.seed_hi = 8;
+    config.collect_metrics = metrics;
+    config.capture_traces = traces;
+    const campaign::CampaignReport report = campaign::run(config);
+    steps += report.total_steps;
+    benchmark::DoNotOptimize(report.total_steps);
+  }
+  state.counters["steps_per_s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+
+void BM_CampaignObservabilityOff(benchmark::State& state) {
+  run_campaign(state, /*metrics=*/false, /*traces=*/false);
+}
+BENCHMARK(BM_CampaignObservabilityOff)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignWithMetrics(benchmark::State& state) {
+  run_campaign(state, /*metrics=*/true, /*traces=*/false);
+}
+BENCHMARK(BM_CampaignWithMetrics)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignWithMetricsAndTraces(benchmark::State& state) {
+  run_campaign(state, /*metrics=*/true, /*traces=*/true);
+}
+BENCHMARK(BM_CampaignWithMetricsAndTraces)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

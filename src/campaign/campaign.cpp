@@ -3,6 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -15,6 +17,7 @@
 #include "fault/fault_plan.hpp"
 #include "mem/address_space.hpp"
 #include "minic/sema.hpp"
+#include "obs/trace.hpp"
 #include "spec/specfile.hpp"
 #include "stimulus/random_inputs.hpp"
 
@@ -95,8 +98,24 @@ SeedResult run_seed(const WorkerStack& stack, const spec::SpecFile& specfile,
     faults->bind_memory(memory);
   }
 
+  // Observability sinks are per seed: a private registry and tracer, so no
+  // cross-thread state exists and the snapshots/traces are pure functions of
+  // (config, seed) — the campaign merges them deterministically afterwards.
+  std::optional<obs::MetricsRegistry> metrics;
+  if (config.collect_metrics) metrics.emplace();
+  const bool tracing = config.capture_traces || !config.trace_dir.empty();
+  obs::TraceWriter trace;
+  if (tracing) trace.seed_start(seed);
+
   sim::Simulation sim;
+  if (metrics) sim.set_metrics(&*metrics);
   sctc::TemporalChecker checker(sim, "sctc", config.mode);
+  if (metrics) checker.set_metrics(&*metrics);
+  if (tracing) checker.set_trace(&trace);
+  if (faults) {
+    if (metrics) faults->set_metrics(&*metrics);
+    if (tracing) faults->set_trace(&trace);
+  }
   spec::apply_spec(specfile, stack.program, memory, checker);
   checker.set_stop_on_violation(true);
   if (config.witness_depth != 0) {
@@ -205,6 +224,26 @@ SeedResult run_seed(const WorkerStack& stack, const spec::SpecFile& specfile,
   if (faults) {
     result.injected_faults = faults->injected_count();
     result.fault_log = faults->log_text();
+  }
+  if (metrics) {
+    metrics->counter("stimulus.draws").add(result.draws);
+    metrics->counter(config.approach == 2 ? "esw.statements" : "cpu.cycles")
+        .add(result.statements);
+    result.metrics = metrics->snapshot();
+  }
+  if (tracing) {
+    std::uint64_t validated = 0;
+    std::uint64_t violated = 0;
+    std::uint64_t pending = 0;
+    for (const PropertyOutcome& outcome : result.properties) {
+      switch (outcome.verdict) {
+        case temporal::Verdict::kValidated: ++validated; break;
+        case temporal::Verdict::kViolated: ++violated; break;
+        case temporal::Verdict::kPending: ++pending; break;
+      }
+    }
+    trace.seed_end(seed, result.steps, validated, violated, pending);
+    result.trace_jsonl = trace.text();
   }
   result.wall_ms =
       std::chrono::duration<double, std::milli>(
@@ -403,6 +442,30 @@ CampaignReport run(const CampaignConfig& config) {
     report.total_steps += seed.steps;
     report.total_statements += seed.statements;
     report.total_draws += seed.draws;
+  }
+  if (config.collect_metrics) {
+    report.has_metrics = true;
+    for (const SeedResult& seed : report.seeds) {
+      report.metrics.merge(seed.metrics);
+    }
+    report.metrics.counters["campaign.seeds"] = count;
+  }
+  if (!config.trace_dir.empty()) {
+    // Trace files are written here, on the calling thread after the workers
+    // joined and in ascending seed order, so the on-disk bytes are as
+    // scheduling-independent as the in-memory results.
+    std::filesystem::create_directories(config.trace_dir);
+    for (const SeedResult& seed : report.seeds) {
+      const std::filesystem::path path =
+          std::filesystem::path(config.trace_dir) /
+          ("seed_" + std::to_string(seed.seed) + ".trace.jsonl");
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << seed.trace_jsonl;
+      if (!out) {
+        throw std::runtime_error("campaign: cannot write trace file " +
+                                 path.string());
+      }
+    }
   }
 
   report.wall_seconds =

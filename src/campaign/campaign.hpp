@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sctc/checker.hpp"
 #include "temporal/monitor.hpp"
 
@@ -46,6 +47,19 @@ struct CampaignConfig {
   /// Detailed fault-log records kept per seed (counts stay exact beyond
   /// the limit; 0 keeps every record).
   std::size_t fault_log_limit = 64;
+
+  // --- observability (docs/OBSERVABILITY.md) ---
+  /// Collect per-seed run metrics (kernel, checker, fault, stimulus
+  /// counters) and merge them into CampaignReport::metrics. The merged
+  /// snapshot is deterministic: byte-identical for any jobs count.
+  bool collect_metrics = false;
+  /// Keep each seed's JSONL event trace in SeedResult::trace_jsonl.
+  bool capture_traces = false;
+  /// When non-empty, also write every seed's trace to
+  /// `<trace_dir>/seed_<N>.trace.jsonl` (the directory is created; files are
+  /// written on the calling thread after the workers join, so their bytes
+  /// are independent of scheduling). Implies capture_traces.
+  std::string trace_dir;
 
   // --- hardening ---
   /// Per-seed wall-clock watchdog in seconds; a seed past the deadline is
@@ -90,6 +104,11 @@ struct SeedResult {
   std::vector<std::uint64_t> prop_true_counts;
   std::uint64_t injected_faults = 0;  // faults injected into this seed's run
   std::string fault_log;  // deterministic rendered fault log (may truncate)
+  /// Per-seed metrics snapshot (collect_metrics only). Deterministic.
+  obs::MetricsSnapshot metrics;
+  /// Per-seed JSONL event trace (capture_traces / trace_dir only).
+  /// Deterministic: contains no wall-clock data.
+  std::string trace_jsonl;
   double wall_ms = 0.0;  // timing only; excluded from deterministic output
 };
 
@@ -149,6 +168,12 @@ struct CampaignReport {
   std::uint64_t held_under_fault_total = 0;
   std::uint64_t violated_under_fault_total = 0;
   std::uint64_t monitor_error_total = 0;
+
+  // Merged per-seed metrics (collect_metrics only). Merging walks the seed
+  // slots in ascending order on the calling thread; the snapshot renders
+  // byte-identically for any jobs count.
+  bool has_metrics = false;
+  obs::MetricsSnapshot metrics;
 
   std::uint64_t total_steps = 0;
   std::uint64_t total_statements = 0;

@@ -251,6 +251,13 @@ std::string CampaignReport::to_json(bool include_timing) const {
       << ", \"total_statements\": " << total_statements
       << ", \"total_draws\": " << total_draws << "\n  }";
 
+  if (has_metrics) {
+    // Campaign metrics are merged from per-seed snapshots that carry no
+    // wall-clock histograms, so this block is deterministic either way; the
+    // include_timing flag is still honoured for uniformity.
+    out << ",\n  \"metrics\": " << metrics.to_json(include_timing);
+  }
+
   if (include_timing) {
     out << ",\n  \"timing\": {\"wall_seconds\": " << std::fixed
         << std::setprecision(3) << wall_seconds

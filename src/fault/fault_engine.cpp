@@ -5,6 +5,8 @@
 #include "can/can_controller.hpp"
 #include "flash/flash_controller.hpp"
 #include "mem/address_space.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 
 namespace esv::fault {
@@ -31,8 +33,15 @@ FaultEngine::FaultEngine(const FaultPlan& plan, std::uint64_t seed,
                          std::size_t log_limit)
     : plan_(plan), rng_(seed ^ kFaultStreamSalt), log_limit_(log_limit) {}
 
+void FaultEngine::set_metrics(obs::MetricsRegistry* metrics) {
+  m_injected_ =
+      metrics == nullptr ? nullptr : &metrics->counter("fault.injected");
+}
+
 void FaultEngine::record(std::uint64_t step, std::string text) {
   ++injected_;
+  if (m_injected_ != nullptr) m_injected_->add();
+  if (trace_ != nullptr) trace_->fault(step, text);
   if (log_limit_ == 0 || log_.size() < log_limit_) {
     log_.push_back(FaultRecord{step, std::move(text)});
   }

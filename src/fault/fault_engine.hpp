@@ -31,6 +31,12 @@
 #include "common/rng.hpp"
 #include "fault/fault_plan.hpp"
 
+namespace esv::obs {
+class Counter;
+class MetricsRegistry;
+class TraceWriter;
+}  // namespace esv::obs
+
 namespace esv::mem {
 class AddressSpace;
 }
@@ -66,6 +72,14 @@ class FaultEngine {
   void bind_can(can::CanController& can) { can_ = &can; }
   void bind_clock(sim::Clock& clock) { clock_ = &clock; }
 
+  // --- observability (docs/OBSERVABILITY.md, both optional) ---
+  /// Every injection bumps the `fault.injected` counter. Pass nullptr to
+  /// detach.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  /// Every injection is traced as a `fault` event with the same
+  /// deterministic description the FaultLog records. Pass nullptr to detach.
+  void set_trace(obs::TraceWriter* trace) { trace_ = trace; }
+
   /// Applies every plan entry active at `step`. Call exactly once per
   /// temporal step, with a monotonically advancing step number.
   void on_step(std::uint64_t step);
@@ -94,6 +108,8 @@ class FaultEngine {
 
   std::uint64_t injected_ = 0;
   std::vector<FaultRecord> log_;
+  obs::Counter* m_injected_ = nullptr;
+  obs::TraceWriter* trace_ = nullptr;
 };
 
 }  // namespace esv::fault

@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace esv::obs {
+
+namespace {
+
+void update_min(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void update_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  update_min(min_, value);
+  update_max(max_, value);
+  buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+Histogram& MetricsRegistry::histogram_impl(const std::string& name,
+                                           bool timing) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_.try_emplace(name, timing).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histogram_impl(name, /*timing=*/false);
+}
+
+Histogram& MetricsRegistry::duration_histogram(const std::string& name) {
+  return histogram_impl(name, /*timing=*/true);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter.value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramData data;
+    data.count = hist.count_.load(std::memory_order_relaxed);
+    data.sum = hist.sum_.load(std::memory_order_relaxed);
+    data.min =
+        data.count == 0 ? 0 : hist.min_.load(std::memory_order_relaxed);
+    data.max = hist.max_.load(std::memory_order_relaxed);
+    data.timing = hist.timing_;
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (hist.buckets_[i].load(std::memory_order_relaxed) != 0) top = i + 1;
+    }
+    data.buckets.reserve(top);
+    for (std::size_t i = 0; i < top; ++i) {
+      data.buckets.push_back(hist.buckets_[i].load(std::memory_order_relaxed));
+    }
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+  for (const auto& [name, theirs] : other.histograms) {
+    HistogramData& ours = histograms[name];
+    if (ours.count == 0) {
+      ours.min = theirs.min;
+    } else if (theirs.count != 0) {
+      ours.min = std::min(ours.min, theirs.min);
+    }
+    ours.max = std::max(ours.max, theirs.max);
+    ours.count += theirs.count;
+    ours.sum += theirs.sum;
+    ours.timing = ours.timing || theirs.timing;
+    if (ours.buckets.size() < theirs.buckets.size()) {
+      ours.buckets.resize(theirs.buckets.size(), 0);
+    }
+    for (std::size_t i = 0; i < theirs.buckets.size(); ++i) {
+      ours.buckets[i] += theirs.buckets[i];
+    }
+  }
+}
+
+std::string MetricsSnapshot::to_json(bool include_timing) const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (hist.timing && !include_timing) continue;
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": {\"count\": " << hist.count << ", \"sum\": " << hist.sum
+        << ", \"min\": " << hist.min << ", \"max\": " << hist.max
+        << ", \"buckets\": [";
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+      out << (i ? ", " : "") << hist.buckets[i];
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+}  // namespace esv::obs

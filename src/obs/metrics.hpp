@@ -1,0 +1,127 @@
+// Run metrics: a lightweight, thread-safe registry of named counters and
+// value histograms, plus a deterministic snapshot type that campaigns merge
+// across seeds.
+//
+// Design constraints, in order:
+//   1. Determinism. Snapshots render as sorted JSON with integer-only
+//      fields, and merging snapshots is commutative, so a campaign that
+//      merges per-seed snapshots in any order produces byte-identical
+//      output for any --jobs value. Wall-clock metrics are allowed but
+//      carry a `timing` mark and are excluded from deterministic renders
+//      (the same split the campaign report makes for its "timing" section).
+//   2. Hot-path cost. Instrumented code caches Counter*/Histogram* once and
+//      then pays one relaxed atomic add per event; the registry mutex is
+//      only taken on first lookup of a name.
+//   3. Thread safety. Counters and histogram cells are atomics; the name
+//      maps are node-stable (std::map), so references handed out stay valid
+//      while the registry lives.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace esv::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Histogram over unsigned values (step counts, state ids, microseconds)
+/// with power-of-two buckets: bucket i counts values whose bit width is i
+/// (0 -> bucket 0, 1 -> bucket 1, 2..3 -> bucket 2, 4..7 -> bucket 3, ...).
+/// Exact count/sum/min/max are kept alongside the buckets.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit_width of uint64 is 0..64
+
+  explicit Histogram(bool timing) : timing_(timing) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// True for wall-clock-valued histograms, which deterministic renders omit.
+  bool timing() const { return timing_; }
+
+ private:
+  friend class MetricsRegistry;
+  const bool timing_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Plain-data copy of one histogram, as stored in a snapshot.
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;  // trailing zero buckets trimmed
+  bool timing = false;
+};
+
+/// Immutable copy of a registry's state. Merging and rendering are
+/// deterministic: maps iterate in name order, every field is an integer.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramData> histograms;
+
+  bool empty() const { return counters.empty() && histograms.empty(); }
+
+  /// Adds `other` into this snapshot (counter sums, bucket-wise histogram
+  /// sums, min/max widening). Commutative and associative, so merge order
+  /// never affects the result.
+  void merge(const MetricsSnapshot& other);
+
+  /// Sorted, integer-only JSON object. With include_timing=false every
+  /// timing-marked histogram is omitted and the text is a pure function of
+  /// the recorded (deterministic) events.
+  std::string to_json(bool include_timing = true) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named counter. The reference stays valid for the
+  /// registry's lifetime; cache it on hot paths.
+  Counter& counter(const std::string& name);
+
+  /// Finds or creates a histogram over deterministic values (steps, sizes).
+  Histogram& histogram(const std::string& name);
+
+  /// Finds or creates a timing-marked histogram (wall-clock values), which
+  /// deterministic snapshot renders exclude. A name keeps the mark it was
+  /// created with.
+  Histogram& duration_histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  Histogram& histogram_impl(const std::string& name, bool timing);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace esv::obs

@@ -1,0 +1,104 @@
+#include "obs/trace.hpp"
+
+#include <sstream>
+
+namespace esv::obs {
+
+namespace {
+
+// Minimal JSON string escape; proposition/property names and fault texts are
+// plain ASCII in practice, but a malicious spec must not corrupt the stream.
+void escape_into(std::ostringstream& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+              << "0123456789abcdef"[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void TraceWriter::append(std::string_view text) {
+  buffer_ += text;
+  buffer_ += '\n';
+  ++events_;
+}
+
+void TraceWriter::seed_start(std::uint64_t seed) {
+  std::ostringstream line;
+  line << "{\"type\":\"seed_start\",\"seed\":" << seed << "}";
+  append(line.str());
+}
+
+void TraceWriter::prop_change(std::uint64_t step, std::string_view prop,
+                              bool value) {
+  std::ostringstream line;
+  line << "{\"type\":\"prop_change\",\"step\":" << step << ",\"prop\":\"";
+  escape_into(line, prop);
+  line << "\",\"value\":" << (value ? 1 : 0) << "}";
+  append(line.str());
+}
+
+void TraceWriter::monitor_transition(std::uint64_t step,
+                                     std::string_view property,
+                                     std::string_view from,
+                                     std::string_view to) {
+  std::ostringstream line;
+  line << "{\"type\":\"monitor_transition\",\"step\":" << step
+       << ",\"property\":\"";
+  escape_into(line, property);
+  line << "\",\"from\":\"";
+  escape_into(line, from);
+  line << "\",\"to\":\"";
+  escape_into(line, to);
+  line << "\"}";
+  append(line.str());
+}
+
+void TraceWriter::automaton_state(std::uint64_t step,
+                                  std::string_view property,
+                                  std::uint32_t state) {
+  std::ostringstream line;
+  line << "{\"type\":\"automaton_state\",\"step\":" << step
+       << ",\"property\":\"";
+  escape_into(line, property);
+  line << "\",\"state\":" << state << "}";
+  append(line.str());
+}
+
+void TraceWriter::fault(std::uint64_t step, std::string_view text) {
+  std::ostringstream line;
+  line << "{\"type\":\"fault\",\"step\":" << step << ",\"text\":\"";
+  escape_into(line, text);
+  line << "\"}";
+  append(line.str());
+}
+
+void TraceWriter::handshake(std::uint64_t steps) {
+  std::ostringstream line;
+  line << "{\"type\":\"handshake\",\"steps\":" << steps << "}";
+  append(line.str());
+}
+
+void TraceWriter::seed_end(std::uint64_t seed, std::uint64_t steps,
+                           std::uint64_t validated, std::uint64_t violated,
+                           std::uint64_t pending) {
+  std::ostringstream line;
+  line << "{\"type\":\"seed_end\",\"seed\":" << seed << ",\"steps\":" << steps
+       << ",\"validated\":" << validated << ",\"violated\":" << violated
+       << ",\"pending\":" << pending << "}";
+  append(line.str());
+}
+
+}  // namespace esv::obs

@@ -1,0 +1,58 @@
+// Structured run tracing: one JSON object per line (JSONL), recording how a
+// verification run unfolded — proposition value changes, monitor verdict
+// transitions and AR-automaton state movement, fault injections, and
+// campaign seed lifecycle events.
+//
+// The tracer is deliberately dumb: it buffers lines in memory (like
+// sim::VcdTracer) and never stamps wall-clock time, so a trace is a pure
+// function of the run configuration — byte-identical across --jobs counts
+// and across reruns. One TraceWriter serves one run (one campaign seed); it
+// is not thread-safe and does not need to be, because campaign workers own
+// fully isolated per-seed stacks.
+//
+// Event schema (docs/OBSERVABILITY.md):
+//   {"type":"seed_start","seed":N}
+//   {"type":"prop_change","step":N,"prop":"name","value":0|1}
+//   {"type":"monitor_transition","step":N,"property":"name",
+//    "from":"pending","to":"validated"|"violated"}
+//   {"type":"automaton_state","step":N,"property":"name","state":N}
+//   {"type":"fault","step":N,"text":"bitflip led bit 3"}
+//   {"type":"handshake","steps":N}
+//   {"type":"seed_end","seed":N,"steps":N,"validated":N,"violated":N,
+//    "pending":N}
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace esv::obs {
+
+class TraceWriter {
+ public:
+  TraceWriter() = default;
+
+  void seed_start(std::uint64_t seed);
+  void prop_change(std::uint64_t step, std::string_view prop, bool value);
+  void monitor_transition(std::uint64_t step, std::string_view property,
+                          std::string_view from, std::string_view to);
+  void automaton_state(std::uint64_t step, std::string_view property,
+                       std::uint32_t state);
+  void fault(std::uint64_t step, std::string_view text);
+  void handshake(std::uint64_t steps);
+  void seed_end(std::uint64_t seed, std::uint64_t steps,
+                std::uint64_t validated, std::uint64_t violated,
+                std::uint64_t pending);
+
+  std::uint64_t event_count() const { return events_; }
+  /// The buffered JSONL document.
+  const std::string& text() const { return buffer_; }
+
+ private:
+  void append(std::string_view text);
+
+  std::string buffer_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace esv::obs

@@ -135,11 +135,41 @@ void TemporalChecker::bind_trigger(sim::Event& trigger) {
                      /*run_at_start=*/false);
 }
 
+void TemporalChecker::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    m_steps_ = nullptr;
+    m_prop_changes_ = nullptr;
+    m_transitions_ = nullptr;
+    m_validated_ = nullptr;
+    m_violated_ = nullptr;
+    m_decide_step_ = nullptr;
+    return;
+  }
+  m_steps_ = &metrics->counter("sctc.steps");
+  m_prop_changes_ = &metrics->counter("sctc.prop_changes");
+  m_transitions_ = &metrics->counter("sctc.monitor_transitions");
+  m_validated_ = &metrics->counter("sctc.validated");
+  m_violated_ = &metrics->counter("sctc.violated");
+  m_decide_step_ = &metrics->histogram("sctc.decide_step");
+}
+
 void TemporalChecker::evaluate_propositions() {
+  // The step-1 valuation counts every proposition as a "change" (from
+  // unknown), so a trace always opens with the full initial valuation.
+  const bool observe = trace_ != nullptr || m_prop_changes_ != nullptr;
   for (std::size_t i = 0; i < propositions_by_index_.size(); ++i) {
     if (propositions_by_index_[i]) {
-      value_cache_[i] = propositions_by_index_[i]->is_true() ? 1 : 0;
-      if (value_cache_[i]) ++true_counts_[i];
+      const char value = propositions_by_index_[i]->is_true() ? 1 : 0;
+      if (observe && (steps_ == 1 || value != value_cache_[i])) {
+        if (m_prop_changes_ != nullptr) m_prop_changes_->add();
+        if (trace_ != nullptr) {
+          trace_->prop_change(steps_, factory_.prop_name(static_cast<int>(i)),
+                              value != 0);
+        }
+      }
+      value_cache_[i] = value;
+      if (value) ++true_counts_[i];
     }
   }
 }
@@ -195,6 +225,7 @@ std::string TemporalChecker::witness_table() const {
 
 void TemporalChecker::step_all() {
   ++steps_;
+  if (m_steps_ != nullptr) m_steps_->add();
   evaluate_propositions();
   record_witness();
   const auto valuation = make_valuation();
@@ -207,10 +238,27 @@ void TemporalChecker::step_all() {
     } else {
       v = record.automaton_monitor->step(valuation);
     }
+    if (trace_ != nullptr && record.automaton_monitor) {
+      const std::uint32_t state = record.automaton_monitor->state();
+      if (state != record.traced_state) {
+        trace_->automaton_state(steps_, record.name, state);
+        record.traced_state = state;
+      }
+    }
     if (v != temporal::Verdict::kPending) {
       record.decided_at_step = steps_;
       record.decided_at_time = sim_.now();
       if (v == temporal::Verdict::kViolated) violated_now = true;
+      if (m_transitions_ != nullptr) {
+        m_transitions_->add();
+        (v == temporal::Verdict::kViolated ? m_violated_ : m_validated_)
+            ->add();
+        m_decide_step_->record(steps_);
+      }
+      if (trace_ != nullptr) {
+        trace_->monitor_transition(steps_, record.name, "pending",
+                                   temporal::to_string(v));
+      }
     }
   }
   if (violated_now && stop_on_violation_) sim_.stop();
@@ -252,6 +300,7 @@ void TemporalChecker::reset_monitors() {
     if (record.automaton_monitor) record.automaton_monitor->reset();
     record.decided_at_step = 0;
     record.decided_at_time = sim::Time::zero();
+    record.traced_state = UINT32_MAX;
   }
 }
 

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sctc/proposition.hpp"
 #include "sim/kernel.hpp"
 #include "sim/module.hpp"
@@ -75,6 +77,8 @@ struct PropertyRecord {
   sim::Time decided_at_time;
   /// AR-automaton size (synthesized mode only).
   std::size_t automaton_states = 0;
+  /// Last AR-automaton state id written to the trace (tracing only).
+  std::uint32_t traced_state = UINT32_MAX;
 
   temporal::Verdict verdict() const;
 };
@@ -112,6 +116,19 @@ class TemporalChecker : public sim::Module {
 
   /// If set, the simulation stops as soon as any property is violated.
   void set_stop_on_violation(bool stop) { stop_on_violation_ = stop; }
+
+  // --- observability (docs/OBSERVABILITY.md) ---
+  /// Attaches a metrics registry: the checker bumps `sctc.steps`,
+  /// `sctc.prop_changes`, `sctc.monitor_transitions`, `sctc.validated` /
+  /// `sctc.violated`, and records decision steps into the
+  /// `sctc.decide_step` histogram. Counter references are cached here, so
+  /// the per-step cost is a handful of relaxed atomic adds. Pass nullptr to
+  /// detach.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  /// Attaches a JSONL tracer recording proposition value changes, monitor
+  /// verdict transitions, and (in synthesized-automaton mode) AR-automaton
+  /// state movement. Pass nullptr to detach.
+  void set_trace(obs::TraceWriter* trace) { trace_ = trace; }
 
   /// Resets all monitors to their initial state (verdicts and step counts
   /// are cleared; propositions keep their own state).
@@ -175,6 +192,17 @@ class TemporalChecker : public sim::Module {
   bool stop_on_violation_ = false;
   std::size_t witness_depth_ = 0;
   std::vector<WitnessStep> witness_;
+
+  // Observability sinks (all optional; cached counters avoid registry
+  // lookups on the hot path).
+  obs::TraceWriter* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_steps_ = nullptr;
+  obs::Counter* m_prop_changes_ = nullptr;
+  obs::Counter* m_transitions_ = nullptr;
+  obs::Counter* m_validated_ = nullptr;
+  obs::Counter* m_violated_ = nullptr;
+  obs::Histogram* m_decide_step_ = nullptr;
 };
 
 }  // namespace esv::sctc

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace esv::sim {
 
@@ -249,6 +250,17 @@ bool Simulation::run_delta_phase() {
 }
 
 Time Simulation::run(Time until) {
+  const std::uint64_t deltas_before = delta_count_;
+  const std::uint64_t runs_before = process_runs_;
+  const Time end = run_loop(until);
+  if (metrics_ != nullptr) {
+    metrics_->counter("sim.delta_cycles").add(delta_count_ - deltas_before);
+    metrics_->counter("sim.process_runs").add(process_runs_ - runs_before);
+  }
+  return end;
+}
+
+Time Simulation::run_loop(Time until) {
   while (!stop_requested_) {
     // One delta cycle: evaluate, update, delta notifications.
     if (!runnable_.empty()) {

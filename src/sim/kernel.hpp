@@ -30,6 +30,10 @@
 
 #include "sim/time.hpp"
 
+namespace esv::obs {
+class MetricsRegistry;
+}
+
 namespace esv::sim {
 
 class Simulation;
@@ -263,6 +267,13 @@ class Simulation {
   /// Channel update request (signals call this from their write path).
   void request_update(Channel& channel);
 
+  /// Attaches a metrics registry (docs/OBSERVABILITY.md): every run() call
+  /// adds the delta cycles and process executions it consumed to the
+  /// `sim.delta_cycles` / `sim.process_runs` counters. Pass nullptr to
+  /// detach. The kernel pays nothing per event — counters are flushed once
+  /// per run() return.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   DelayAwaiter delay(Time t) { return DelayAwaiter{*this, t}; }
   DeltaAwaiter next_delta() { return DeltaAwaiter{*this}; }
 
@@ -288,6 +299,7 @@ class Simulation {
     }
   };
 
+  Time run_loop(Time until);
   void make_runnable(Process& p);
   void wake(Process& p, std::uint64_t epoch);  // epoch-checked wake-up
   void schedule_timed_wake(Process& p, Time delay);
@@ -303,6 +315,7 @@ class Simulation {
   std::uint64_t process_runs_ = 0;
   std::uint64_t timed_seq_ = 0;
   bool stop_requested_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;
 
   std::vector<std::unique_ptr<Process>> processes_;
   std::deque<Process*> runnable_;

@@ -4,15 +4,20 @@
 // argument for "the derived model is as precise as the original C program".
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "cpu/codegen.hpp"
 #include "cpu/cpu.hpp"
+#include "esw/esw_model.hpp"
 #include "esw/esw_program.hpp"
 #include "esw/interpreter.hpp"
 #include "minic/sema.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sctc/checker.hpp"
 
 namespace esv {
 namespace {
@@ -169,6 +174,134 @@ TEST_P(DifferentialFuzzTest, CpuAndDerivedModelAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzzTest, ::testing::Range(0, 40));
+
+/// Monitor-transition events pulled out of a JSONL trace, with step numbers
+/// dropped: approach 1 steps per clock cycle and approach 2 per statement,
+/// so only the (property, verdict) content of a transition is comparable.
+std::vector<std::string> transition_events(const std::string& jsonl) {
+  std::vector<std::string> events;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"type\":\"monitor_transition\"") == std::string::npos) {
+      continue;
+    }
+    const std::size_t property = line.find("\"property\"");
+    events.push_back(line.substr(property));
+  }
+  return events;
+}
+
+struct CheckedRun {
+  std::vector<std::string> transitions;
+  std::uint64_t transition_count = 0;  // the sctc.monitor_transitions counter
+};
+
+/// Runs `source` to completion under the given approach with monitors for
+/// two clock-free properties per watched global: `F (g == final)` (reaches
+/// its known final value) and `G (g == initial)` (never changes). Clock-free
+/// (untimed) properties are stutter-invariant, so the per-cycle and
+/// per-statement samplings must drive the monitors through the same
+/// transitions.
+CheckedRun run_checked(const std::string& source, int approach,
+                       const std::vector<std::pair<std::string, std::uint32_t>>&
+                           final_values) {
+  minic::Program program = minic::compile(source);
+  sim::Simulation sim;
+  mem::AddressSpace memory(0x10000);
+  minic::ZeroInputProvider inputs;
+
+  sctc::TemporalChecker checker(sim, "sctc");
+  obs::MetricsRegistry metrics;
+  obs::TraceWriter trace;
+  checker.set_metrics(&metrics);
+  checker.set_trace(&trace);
+
+  for (const auto& [name, final_value] : final_values) {
+    const minic::GlobalVar* global = program.find_global(name);
+    const std::uint32_t address = global->address;
+    const std::uint32_t initial = static_cast<std::uint32_t>(
+        global->init.empty() ? 0 : global->init[0]);
+    checker.register_proposition(name + "_final",
+                                 [&memory, address, final_value] {
+                                   return memory.sctc_read_uint(address) ==
+                                          final_value;
+                                 });
+    checker.register_proposition(name + "_initial",
+                                 [&memory, address, initial] {
+                                   return memory.sctc_read_uint(address) ==
+                                          initial;
+                                 });
+    checker.add_property("reaches_" + name, "F " + name + "_final");
+    checker.add_property("holds_" + name, "G " + name + "_initial");
+  }
+
+  if (approach == 2) {
+    esw::EswProgram lowered = esw::lower_program(program);
+    esw::EswModel model(sim, "esw", program, lowered, memory, inputs);
+    checker.bind_trigger(model.pc_event());
+    sim.create_method(
+        "supervisor", [&] { if (model.finished()) sim.stop(); },
+        {&model.pc_event()}, /*run_at_start=*/false);
+    // The microprocessor's clock samples the pre-main initial state (the
+    // first posedge fires before any store retires); the pc event only
+    // fires after the first statement. One manual step aligns the observed
+    // state sequences, which stutter-invariance then keeps aligned.
+    checker.step_all();
+    sim.run();
+    EXPECT_TRUE(model.finished());
+  } else {
+    cpu::CodeImage image = cpu::compile_to_image(program);
+    sim::Clock clock(sim, "clk", sim::Time::ns(10));
+    cpu::Cpu core(sim, "cpu", image, memory, inputs, clock);
+    core.set_stop_on_halt(true);
+    checker.bind_trigger(clock.posedge_event());
+    sim.run(sim::Time::sec(1));
+    EXPECT_TRUE(core.halted());
+    EXPECT_FALSE(core.trapped()) << core.trap_message();
+  }
+
+  CheckedRun result;
+  result.transitions = transition_events(trace.text());
+  result.transition_count =
+      metrics.snapshot().counters.at("sctc.monitor_transitions");
+  return result;
+}
+
+TEST_P(DifferentialFuzzTest, MonitorTransitionCountsAgree) {
+  ProgramGenerator gen(static_cast<std::uint64_t>(GetParam()) * 0xFEDCBA);
+  const std::string source = gen.generate();
+  SCOPED_TRACE(source);
+
+  // Reference interpreter run fixes the final values the F-properties watch.
+  minic::Program program = minic::compile(source);
+  esw::EswProgram lowered = esw::lower_program(program);
+  mem::AddressSpace memory(0x10000);
+  minic::ZeroInputProvider inputs;
+  esw::Interpreter interp(program, lowered, memory, inputs);
+  interp.run(2'000'000);
+  ASSERT_TRUE(interp.finished());
+
+  std::vector<std::pair<std::string, std::uint32_t>> final_values;
+  for (std::size_t i = 0; i < program.globals.size() && i < 3; ++i) {
+    const std::string& name = program.globals[i].name;
+    final_values.emplace_back(name, interp.global(name));
+  }
+  ASSERT_FALSE(final_values.empty());
+
+  const CheckedRun derived = run_checked(source, 2, final_values);
+  const CheckedRun micro = run_checked(source, 1, final_values);
+
+  // The tracer is the oracle: both approaches take the same monitor
+  // transitions (same properties, same verdicts, same multiplicity), and
+  // the metrics counter agrees with the traced event count.
+  EXPECT_EQ(derived.transitions, micro.transitions);
+  EXPECT_EQ(derived.transition_count, micro.transition_count);
+  EXPECT_EQ(derived.transition_count, derived.transitions.size());
+  // Every watched global reaches its final value, so the F-properties fire
+  // at least once per run.
+  EXPECT_GE(derived.transition_count, final_values.size());
+}
 
 }  // namespace
 }  // namespace esv

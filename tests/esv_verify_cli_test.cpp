@@ -217,6 +217,106 @@ TEST(EsvVerifyCliTest, CampaignSeedTimeoutRecordsTimeoutsAndExitsOne) {
   EXPECT_NE(r.output.find("2 timed out"), std::string::npos) << r.output;
 }
 
+TEST(EsvVerifyCliTest, MetricsAndTraceFlagsWriteFiles) {
+  const std::string metrics = ::testing::TempDir() + "/run_metrics.json";
+  const std::string trace = ::testing::TempDir() + "/run_trace.jsonl";
+  std::remove(metrics.c_str());
+  std::remove(trace.c_str());
+  const RunResult r = run_cli(sample_args() + " --max-steps=2000" +
+                              " --metrics=" + metrics + " --trace=" + trace);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("metrics: " + metrics), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("trace: " + trace), std::string::npos) << r.output;
+
+  std::ifstream metrics_in(metrics);
+  ASSERT_TRUE(metrics_in.good());
+  std::string metrics_json((std::istreambuf_iterator<char>(metrics_in)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_NE(metrics_json.find("\"sctc.steps\": 2000"), std::string::npos)
+      << metrics_json;
+  EXPECT_NE(metrics_json.find("\"run.wall_us\""), std::string::npos)
+      << metrics_json;
+
+  std::ifstream trace_in(trace);
+  ASSERT_TRUE(trace_in.good());
+  std::string jsonl((std::istreambuf_iterator<char>(trace_in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_NE(jsonl.find("{\"type\":\"seed_start\",\"seed\":1}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"prop_change\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"seed_end\""), std::string::npos);
+}
+
+TEST(EsvVerifyCliTest, QuietSuppressesMetricsAndTraceStatusLines) {
+  const std::string metrics = ::testing::TempDir() + "/quiet_metrics.json";
+  const std::string trace = ::testing::TempDir() + "/quiet_trace.jsonl";
+  const RunResult r =
+      run_cli(sample_args() + " --quiet --max-steps=2000" +
+              " --metrics=" + metrics + " --trace=" + trace);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("metrics:"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("trace:"), std::string::npos) << r.output;
+  // The files are still written.
+  EXPECT_TRUE(std::ifstream(metrics).good());
+  EXPECT_TRUE(std::ifstream(trace).good());
+}
+
+TEST(EsvVerifyCliTest, UnwritableMetricsOrTracePathExitsTwo) {
+  const RunResult metrics =
+      run_cli(sample_args() + " --metrics=/nonexistent/dir/m.json");
+  EXPECT_EQ(metrics.exit_code, 2) << metrics.output;
+  EXPECT_NE(metrics.output.find("cannot write"), std::string::npos)
+      << metrics.output;
+
+  const RunResult trace =
+      run_cli(sample_args() + " --trace=/nonexistent/dir/t.jsonl");
+  EXPECT_EQ(trace.exit_code, 2) << trace.output;
+  EXPECT_NE(trace.output.find("cannot write"), std::string::npos)
+      << trace.output;
+
+  // Campaign mode preflights the metrics sink before any seed runs.
+  const RunResult campaign = run_cli(
+      sample_args() + " --campaign=1..2 --metrics=/nonexistent/dir/m.json");
+  EXPECT_EQ(campaign.exit_code, 2) << campaign.output;
+  EXPECT_NE(campaign.output.find("cannot write"), std::string::npos)
+      << campaign.output;
+}
+
+TEST(EsvVerifyCliTest, TraceIsRejectedInCampaignMode) {
+  const RunResult r =
+      run_cli(sample_args() + " --campaign=1..4 --trace=/tmp/t.jsonl");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--trace is not available in campaign mode"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(EsvVerifyCliTest, CampaignMetricsIdenticalAcrossJobsAndInReport) {
+  const std::string m1 = ::testing::TempDir() + "/campaign_m1.json";
+  const std::string m8 = ::testing::TempDir() + "/campaign_m8.json";
+  const std::string report = ::testing::TempDir() + "/campaign_mr.json";
+  const std::string base = sample_args() + " --campaign=1..8 --quiet";
+  const RunResult one =
+      run_cli(base + " --metrics=" + m1 + " --report=" + report);
+  const RunResult eight = run_cli(base + " --jobs=8 --metrics=" + m8);
+  EXPECT_EQ(one.exit_code, 0) << one.output;
+  EXPECT_EQ(eight.exit_code, 0) << eight.output;
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string metrics_one = slurp(m1);
+  EXPECT_FALSE(metrics_one.empty());
+  EXPECT_EQ(metrics_one, slurp(m8));
+  EXPECT_NE(metrics_one.find("\"campaign.seeds\": 8"), std::string::npos)
+      << metrics_one;
+  // --report always carries the merged metrics block.
+  EXPECT_NE(slurp(report).find("\"metrics\": {"), std::string::npos);
+}
+
 TEST(EsvVerifyCliTest, CampaignVerdictTableIdenticalAcrossJobs) {
   // The wall/seeds-per-second line is timing; --quiet prints the
   // deterministic summary only.

@@ -3,6 +3,9 @@
 // per-seed watchdog, structured error capture, and the bounded retry policy.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "campaign/campaign.hpp"
@@ -86,6 +89,96 @@ TEST(FaultCampaignTest, FaultLogsAndVerdictsDeterministicAcrossJobs) {
   EXPECT_TRUE(serial.fault_campaign);
   EXPECT_EQ(serial.fault_plan_entries, 1u);
   EXPECT_GT(serial.injected_faults_total, 0u);
+}
+
+TEST(FaultCampaignTest, ObservabilityDeterministicAcrossJobs) {
+  // The observability layer must not weaken the campaign determinism
+  // guarantee: merged metrics and every per-seed trace are byte-identical
+  // whether the sweep ran serially or on 8 workers.
+  CampaignConfig serial_config = fault_config(1, 16, 1);
+  serial_config.collect_metrics = true;
+  serial_config.capture_traces = true;
+  CampaignConfig parallel_config = fault_config(1, 16, 8);
+  parallel_config.collect_metrics = true;
+  parallel_config.capture_traces = true;
+
+  const CampaignReport serial = run(serial_config);
+  const CampaignReport parallel = run(parallel_config);
+
+  ASSERT_TRUE(serial.has_metrics);
+  ASSERT_TRUE(parallel.has_metrics);
+  EXPECT_EQ(serial.metrics.to_json(/*include_timing=*/false),
+            parallel.metrics.to_json(/*include_timing=*/false));
+  EXPECT_EQ(serial.to_json(/*include_timing=*/false),
+            parallel.to_json(/*include_timing=*/false));
+
+  ASSERT_EQ(serial.seeds.size(), parallel.seeds.size());
+  for (std::size_t i = 0; i < serial.seeds.size(); ++i) {
+    EXPECT_EQ(serial.seeds[i].trace_jsonl, parallel.seeds[i].trace_jsonl)
+        << "seed " << serial.seeds[i].seed;
+    EXPECT_FALSE(serial.seeds[i].trace_jsonl.empty());
+    EXPECT_EQ(serial.seeds[i].metrics.to_json(false),
+              parallel.seeds[i].metrics.to_json(false));
+  }
+
+  // The merged snapshot carries the expected counters: one campaign.seeds
+  // entry, and the fault.injected counter agrees with the report tally.
+  EXPECT_EQ(serial.metrics.counters.at("campaign.seeds"), 16u);
+  EXPECT_EQ(serial.metrics.counters.at("fault.injected"),
+            serial.injected_faults_total);
+  EXPECT_EQ(serial.metrics.counters.at("sctc.steps"), serial.total_steps);
+  EXPECT_EQ(serial.metrics.counters.at("stimulus.draws"),
+            serial.total_draws);
+}
+
+TEST(FaultCampaignTest, TraceDirWritesOneFilePerSeed) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "esv_campaign_traces";
+  std::filesystem::remove_all(dir);
+
+  CampaignConfig config = fault_config(1, 4, 2);
+  config.trace_dir = dir.string();
+  const CampaignReport report = run(config);
+
+  ASSERT_EQ(report.seeds.size(), 4u);
+  for (const SeedResult& seed : report.seeds) {
+    const std::filesystem::path file =
+        dir / ("seed_" + std::to_string(seed.seed) + ".trace.jsonl");
+    ASSERT_TRUE(std::filesystem::exists(file)) << file;
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    // On-disk bytes mirror the in-memory trace exactly (trace_dir implies
+    // capture_traces).
+    EXPECT_EQ(contents.str(), seed.trace_jsonl);
+    EXPECT_NE(contents.str().find("\"type\":\"seed_start\",\"seed\":" +
+                                  std::to_string(seed.seed)),
+              std::string::npos);
+    EXPECT_NE(contents.str().find("\"type\":\"seed_end\""),
+              std::string::npos);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultCampaignTest, TracesRecordFaultInjections) {
+  CampaignConfig config = fault_config(1, 8, 2);
+  config.capture_traces = true;
+  config.collect_metrics = true;
+  const CampaignReport report = run(config);
+
+  std::uint64_t traced_faults = 0;
+  for (const SeedResult& seed : report.seeds) {
+    std::istringstream in(seed.trace_jsonl);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("\"type\":\"fault\"") != std::string::npos) {
+        ++traced_faults;
+      }
+    }
+  }
+  // Every injection shows up as a fault event.
+  EXPECT_EQ(traced_faults, report.injected_faults_total);
+  EXPECT_GT(traced_faults, 0u);
 }
 
 TEST(FaultCampaignTest, FaultStreamDoesNotPerturbStimulus) {

@@ -1,0 +1,168 @@
+// Metrics registry unit tests: counter/histogram semantics, deterministic
+// snapshot rendering, commutative merge, and exactness under concurrent
+// writers (the check-fast tier runs this, and the ESV_TSAN build makes the
+// concurrency test a real data-race detector).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace esv::obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterStartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("a");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name -> same counter.
+  EXPECT_EQ(&registry.counter("a"), &c);
+}
+
+TEST(ObsMetricsTest, HistogramBucketsByBitWidth) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h");
+  // bit_width: 0->0, 1->1, 2..3->2, 4..7->3, 8..15->4
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 7ull, 8ull}) h.record(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 21u);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  const HistogramData& data = snap.histograms.at("h");
+  EXPECT_EQ(data.min, 0u);
+  EXPECT_EQ(data.max, 8u);
+  ASSERT_EQ(data.buckets.size(), 5u);  // trailing zeros trimmed
+  EXPECT_EQ(data.buckets[0], 1u);      // 0
+  EXPECT_EQ(data.buckets[1], 1u);      // 1
+  EXPECT_EQ(data.buckets[2], 2u);      // 2, 3
+  EXPECT_EQ(data.buckets[3], 1u);      // 7
+  EXPECT_EQ(data.buckets[4], 1u);      // 8
+}
+
+TEST(ObsMetricsTest, EmptyHistogramSnapshotsWithZeroMin) {
+  MetricsRegistry registry;
+  registry.histogram("empty");
+  const MetricsSnapshot snap = registry.snapshot();
+  const HistogramData& data = snap.histograms.at("empty");
+  EXPECT_EQ(data.count, 0u);
+  EXPECT_EQ(data.min, 0u);
+  EXPECT_EQ(data.max, 0u);
+  EXPECT_TRUE(data.buckets.empty());
+}
+
+TEST(ObsMetricsTest, SnapshotJsonIsSortedAndIntegerOnly) {
+  MetricsRegistry registry;
+  registry.counter("zebra").add(1);
+  registry.counter("alpha").add(2);
+  registry.histogram("steps").record(5);
+  const std::string json = registry.snapshot().to_json();
+  // Name order is lexicographic regardless of creation order.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zebra\""));
+  EXPECT_NE(json.find("\"alpha\": 2"), std::string::npos) << json;
+  EXPECT_NE(
+      json.find("\"steps\": {\"count\": 1, \"sum\": 5, \"min\": 5, "
+                "\"max\": 5, \"buckets\": [0, 0, 0, 1]}"),
+      std::string::npos)
+      << json;
+}
+
+TEST(ObsMetricsTest, TimingHistogramsAreExcludedFromDeterministicRenders) {
+  MetricsRegistry registry;
+  registry.histogram("steps").record(3);
+  registry.duration_histogram("wall_us").record(12345);
+  const MetricsSnapshot snap = registry.snapshot();
+  const std::string full = snap.to_json(/*include_timing=*/true);
+  const std::string deterministic = snap.to_json(/*include_timing=*/false);
+  EXPECT_NE(full.find("wall_us"), std::string::npos);
+  EXPECT_EQ(deterministic.find("wall_us"), std::string::npos);
+  EXPECT_NE(deterministic.find("steps"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, MergeIsCommutative) {
+  MetricsRegistry a;
+  a.counter("shared").add(3);
+  a.counter("only_a").add(1);
+  a.histogram("h").record(2);
+  MetricsRegistry b;
+  b.counter("shared").add(4);
+  b.counter("only_b").add(1);
+  b.histogram("h").record(100);
+
+  MetricsSnapshot ab = a.snapshot();
+  ab.merge(b.snapshot());
+  MetricsSnapshot ba = b.snapshot();
+  ba.merge(a.snapshot());
+
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+  EXPECT_EQ(ab.counters.at("shared"), 7u);
+  EXPECT_EQ(ab.histograms.at("h").count, 2u);
+  EXPECT_EQ(ab.histograms.at("h").min, 2u);
+  EXPECT_EQ(ab.histograms.at("h").max, 100u);
+}
+
+TEST(ObsMetricsTest, MergeWithEmptyHistogramKeepsRealMin) {
+  // An empty histogram snapshots min=0; merging it must not drag a real
+  // minimum down to 0.
+  MetricsRegistry a;
+  a.histogram("h");  // created, never recorded
+  MetricsRegistry b;
+  b.histogram("h").record(9);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.histograms.at("h").count, 1u);
+  EXPECT_EQ(merged.histograms.at("h").min, 9u);
+}
+
+TEST(ObsMetricsTest, ConcurrentWritersLoseNoEvents) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&registry, t] {
+      // Mix cached-pointer hot-path use with repeated name lookups so the
+      // registry mutex and the atomic cells are both exercised.
+      Counter& cached = registry.counter("events");
+      Histogram& hist = registry.histogram("values");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        cached.add();
+        hist.record(i + static_cast<std::uint64_t>(t));
+        if ((i & 1023u) == 0) registry.counter("lookups").add();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("events"), kThreads * kPerThread);
+  EXPECT_EQ(snap.histograms.at("values").count, kThreads * kPerThread);
+  EXPECT_EQ(snap.counters.at("lookups"),
+            kThreads * ((kPerThread + 1023) / 1024));
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : snap.histograms.at("values").buckets) {
+    bucket_total += b;
+  }
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+TEST(ObsMetricsTest, ReferencesStayValidAsTheRegistryGrows) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("first");
+  first.add();
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler_" + std::to_string(i)).add();
+  }
+  first.add();  // must still be the same live cell (std::map is node-stable)
+  EXPECT_EQ(registry.counter("first").value(), 2u);
+}
+
+}  // namespace
+}  // namespace esv::obs

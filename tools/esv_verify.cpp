@@ -12,6 +12,8 @@
 //     --vcd=FILE           dump a waveform of all propositions
 //     --witness=N          keep the last N steps as a violation witness
 //     --faults=FILE        inject faults from a fault plan (docs/FAULTS.md)
+//     --metrics=FILE       write run metrics as JSON (docs/OBSERVABILITY.md)
+//     --trace=FILE         write the JSONL event trace (single runs only)
 //     --quiet              only print the final verdict table
 //
 //   Campaign mode (docs/CAMPAIGN.md) replaces the single run by a
@@ -21,12 +23,15 @@
 //     --report=FILE        write the JSON campaign report to FILE
 //     --seed-timeout=SECS  per-seed wall-clock watchdog (default off)
 //     --seed-retries=N     retries for infrastructure errors (default 0)
+//   In campaign mode --metrics writes the merged per-seed metrics (byte-
+//   identical for any --jobs); --vcd and --trace are single-run only.
 //
 // Exit code: 0 when no property is violated, 1 on violation (in campaign
 // mode: any violated or errored seed), 2 on usage or input errors, 3 when
 // the verification run itself fails at runtime (simulation or interpreter
 // error escaping the configured run).
 #include <charconv>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -43,6 +48,8 @@
 #include "fault/fault_engine.hpp"
 #include "fault/fault_plan.hpp"
 #include "minic/sema.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/vcd.hpp"
 #include "spec/specfile.hpp"
 #include "stimulus/random_inputs.hpp"
@@ -63,6 +70,8 @@ struct Options {
   std::size_t witness = 0;
   bool quiet = false;
   std::string faults_path;
+  std::string metrics_path;
+  std::string trace_path;
   // Campaign mode.
   std::optional<std::pair<std::uint64_t, std::uint64_t>> campaign;
   unsigned jobs = 1;
@@ -159,6 +168,10 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
       options.seed_retries = static_cast<unsigned>(number);
     } else if (value_of("--vcd=", value)) {
       options.vcd_path = value;
+    } else if (value_of("--metrics=", value)) {
+      options.metrics_path = value;
+    } else if (value_of("--trace=", value)) {
+      options.trace_path = value;
     } else if (value_of("--witness=", value)) {
       if (!parse_u64(value, number)) {
         error = "--witness must be an integer";
@@ -180,6 +193,10 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
   }
   if (options.campaign && !options.vcd_path.empty()) {
     error = "--vcd is not available in campaign mode";
+    return false;
+  }
+  if (options.campaign && !options.trace_path.empty()) {
+    error = "--trace is not available in campaign mode";
     return false;
   }
   options.program_path = positional[0];
@@ -224,6 +241,20 @@ int main(int argc, char** argv) {
       }
       config.seed_timeout_seconds = options.seed_timeout;
       config.seed_retries = options.seed_retries;
+      // --report always carries the metrics block, so a report request is
+      // enough to turn collection on.
+      config.collect_metrics =
+          !options.metrics_path.empty() || !options.report_path.empty();
+
+      // Preflight the metrics sink so an unwritable path is a configuration
+      // error (exit 2) before any seed runs.
+      std::ofstream metrics_out;
+      if (!options.metrics_path.empty()) {
+        metrics_out.open(options.metrics_path);
+        if (!metrics_out) {
+          throw std::runtime_error("cannot write " + options.metrics_path);
+        }
+      }
 
       const campaign::CampaignReport report = campaign::run(config);
       std::cout << (options.quiet ? report.summary() : report.verdict_table());
@@ -235,6 +266,14 @@ int main(int argc, char** argv) {
         out << report.to_json();
         if (!options.quiet) {
           std::cout << "report: " << options.report_path << "\n";
+        }
+      }
+      if (!options.metrics_path.empty()) {
+        // Deterministic rendering: the merged campaign snapshot carries no
+        // timing histograms, so the file is byte-identical for any --jobs.
+        metrics_out << report.metrics.to_json(/*include_timing=*/false);
+        if (!options.quiet) {
+          std::cout << "metrics: " << options.metrics_path << "\n";
         }
       }
       if (!options.quiet) {
@@ -293,6 +332,38 @@ int main(int argc, char** argv) {
       faults->bind_memory(memory);
     }
 
+    // Observability sinks (docs/OBSERVABILITY.md). Output files are opened
+    // up front so an unwritable path is a configuration error (exit 2), not
+    // a lost run.
+    const bool want_metrics = !options.metrics_path.empty();
+    const bool want_trace = !options.trace_path.empty();
+    std::ofstream metrics_out;
+    std::ofstream trace_out;
+    if (want_metrics) {
+      metrics_out.open(options.metrics_path);
+      if (!metrics_out) {
+        throw std::runtime_error("cannot write " + options.metrics_path);
+      }
+    }
+    if (want_trace) {
+      trace_out.open(options.trace_path);
+      if (!trace_out) {
+        throw std::runtime_error("cannot write " + options.trace_path);
+      }
+    }
+    obs::MetricsRegistry metrics;
+    obs::TraceWriter trace;
+    if (want_metrics) {
+      sim.set_metrics(&metrics);
+      checker.set_metrics(&metrics);
+      if (faults) faults->set_metrics(&metrics);
+    }
+    if (want_trace) {
+      trace.seed_start(options.seed);
+      checker.set_trace(&trace);
+      if (faults) faults->set_trace(&trace);
+    }
+
     sim::VcdTracer vcd(sim);
     const bool want_vcd = !options.vcd_path.empty();
     if (want_vcd) {
@@ -309,6 +380,8 @@ int main(int argc, char** argv) {
     // From here on errors are runtime verification failures, not
     // configuration mistakes: a kernel spawn rejection, an interpreter
     // fault, or a trap escaping the run exits 3 with a one-line diagnostic.
+    std::uint64_t executed = 0;
+    const auto run_started = std::chrono::steady_clock::now();
     try {
       if (options.approach == 2) {
         esw::EswProgram lowered = esw::lower_program(program);
@@ -326,6 +399,7 @@ int main(int argc, char** argv) {
             },
             {&model.pc_event()}, /*run_at_start=*/false);
         sim.run();
+        executed = model.interpreter().steps_executed();
       } else {
         cpu::CodeImage image = cpu::compile_to_image(program);
         sim::Clock clock(sim, "clk", sim::Time::ns(10));
@@ -345,6 +419,7 @@ int main(int argc, char** argv) {
             },
             {&clock.posedge_event()}, /*run_at_start=*/false);
         sim.run();
+        executed = clock.cycles();
         if (core.trapped() && !options.quiet) {
           std::cout << "CPU trapped: " << core.trap_message() << "\n";
         }
@@ -359,6 +434,40 @@ int main(int argc, char** argv) {
       if (!options.quiet) {
         std::cout << "waveform: " << options.vcd_path << " ("
                   << vcd.samples() << " samples)\n";
+      }
+    }
+    if (want_metrics) {
+      metrics.counter("stimulus.draws").add(inputs.draw_count());
+      metrics
+          .counter(options.approach == 2 ? "esw.statements" : "cpu.cycles")
+          .add(executed);
+      metrics.duration_histogram("run.wall_us")
+          .record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - run_started)
+                  .count()));
+      metrics_out << metrics.snapshot().to_json(/*include_timing=*/true);
+      if (!options.quiet) {
+        std::cout << "metrics: " << options.metrics_path << "\n";
+      }
+    }
+    if (want_trace) {
+      std::uint64_t validated = 0;
+      std::uint64_t violated = 0;
+      std::uint64_t pending = 0;
+      for (const sctc::PropertyRecord& record : checker.properties()) {
+        switch (record.verdict()) {
+          case temporal::Verdict::kValidated: ++validated; break;
+          case temporal::Verdict::kViolated: ++violated; break;
+          case temporal::Verdict::kPending: ++pending; break;
+        }
+      }
+      trace.seed_end(options.seed, checker.steps(), validated, violated,
+                     pending);
+      trace_out << trace.text();
+      if (!options.quiet) {
+        std::cout << "trace: " << options.trace_path << " ("
+                  << trace.event_count() << " events)\n";
       }
     }
     if (faults) {
