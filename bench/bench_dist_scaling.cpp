@@ -1,0 +1,184 @@
+// Distributed campaign scaling: seeds/sec of the out-of-process broker at
+// workers=1,2,4 against the in-process runner on the same seed range, plus
+// the determinism cross-check (every shape must produce the bit-identical
+// verdict table). Results are recorded to BENCH_dist.json (first argv, or
+// ./BENCH_dist.json) so runs can be compared across machines.
+//
+// The worker binary is resolved like the CLI: $ESV_WORKER_BIN first, then
+// the esv-worker sibling of the usual tools directory relative to this
+// executable (build/bench/ -> build/tools/esv-worker).
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "dist/broker.hpp"
+
+namespace {
+
+const char* kProgram = R"(
+enum { LED_OFF = 0, LED_ON = 1 };
+
+int led;
+int ticks_on;
+int cycles;
+int glitches;
+
+void update(int enable) {
+  if (enable == 1) {
+    if (led == LED_OFF) {
+      led = LED_ON;
+    } else {
+      led = LED_OFF;
+    }
+  } else {
+    led = LED_OFF;
+  }
+  if (led == LED_ON) {
+    ticks_on = ticks_on + 1;
+  }
+}
+
+void main(void) {
+  led = LED_OFF;
+  while (cycles < 4000) {
+    int enable = __in(enable);
+    update(enable);
+    if (__in(noise) == 1) {
+      glitches = glitches + 1;
+    }
+    cycles = cycles + 1;
+  }
+}
+)";
+
+const char* kSpec = R"(
+input enable 0 1
+input noise chance 1 50
+
+prop led_on   = led == LED_ON
+prop led_off  = led == LED_OFF
+prop finished = cycles >= 4000
+
+check legal: G (led_on || led_off)
+check terminates: F finished
+check responds: G (led_on -> F[40] led_off)
+)";
+
+std::string worker_binary() {
+  std::string binary = esv::dist::default_worker_binary();
+  if (!binary.empty()) return binary;
+  // bench binaries live in build/bench/, the tools in build/tools/.
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  std::string path(buf);
+  std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "";
+  std::string sibling = path.substr(0, slash) + "/../tools/esv-worker";
+  return ::access(sibling.c_str(), X_OK) == 0 ? sibling : "";
+}
+
+struct Row {
+  std::string shape;
+  unsigned workers = 0;
+  double wall_seconds = 0.0;
+  double seeds_per_second = 0.0;
+  bool deterministic = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using esv::campaign::CampaignConfig;
+  using esv::campaign::CampaignReport;
+
+  CampaignConfig config;
+  config.program_source = kProgram;
+  config.spec_text = kSpec;
+  config.seed_lo = 1;
+  config.seed_hi = 64;
+  config.jobs = 1;
+  config.worker_binary = worker_binary();
+  if (config.worker_binary.empty()) {
+    std::fprintf(stderr,
+                 "bench_dist_scaling: cannot resolve esv-worker "
+                 "(set ESV_WORKER_BIN)\n");
+    return 1;
+  }
+
+  const std::uint64_t seeds = config.seed_hi - config.seed_lo + 1;
+  std::printf("distributed campaign scaling: %llu seeds, jobs=1 per worker, "
+              "hardware threads: %u\n",
+              static_cast<unsigned long long>(seeds),
+              std::thread::hardware_concurrency());
+  std::printf("%-12s %12s %12s %10s %s\n", "shape", "wall (s)", "seeds/sec",
+              "speedup", "deterministic");
+
+  std::vector<Row> rows;
+  std::string baseline_table;
+  double baseline_rate = 0.0;
+
+  const auto record = [&](const std::string& shape, unsigned workers,
+                          const CampaignReport& report) -> bool {
+    const std::string table = report.verdict_table();
+    if (baseline_table.empty()) {
+      baseline_table = table;
+      baseline_rate = report.seeds_per_second();
+    }
+    Row row;
+    row.shape = shape;
+    row.workers = workers;
+    row.wall_seconds = report.wall_seconds;
+    row.seeds_per_second = report.seeds_per_second();
+    row.deterministic = table == baseline_table;
+    rows.push_back(row);
+    std::printf("%-12s %12.3f %12.1f %9.2fx %s\n", shape.c_str(),
+                row.wall_seconds, row.seeds_per_second,
+                baseline_rate > 0.0 ? row.seeds_per_second / baseline_rate
+                                    : 0.0,
+                row.deterministic ? "yes" : "NO — BUG");
+    return row.deterministic && !report.any_violated() &&
+           report.error_seeds == 0;
+  };
+
+  if (!record("in-process", 0, esv::campaign::run(config))) return 1;
+  for (unsigned workers : {1u, 2u, 4u}) {
+    config.workers = workers;
+    if (!record("workers=" + std::to_string(workers), workers,
+                esv::dist::run_distributed(config))) {
+      return 1;
+    }
+  }
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_dist.json";
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"dist_scaling\",\n  \"seeds\": %llu,\n"
+               "  \"jobs_per_worker\": 1,\n  \"hardware_threads\": %u,\n"
+               "  \"rows\": [\n",
+               static_cast<unsigned long long>(seeds),
+               std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"shape\": \"%s\", \"workers\": %u, "
+                 "\"wall_seconds\": %.3f, \"seeds_per_second\": %.1f, "
+                 "\"deterministic\": %s}%s\n",
+                 row.shape.c_str(), row.workers, row.wall_seconds,
+                 row.seeds_per_second, row.deterministic ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("recorded: %s\n", out_path.c_str());
+  return 0;
+}

@@ -39,6 +39,17 @@ struct CampaignConfig {
   unsigned jobs = 1;                    // worker threads (clamped to >= 1)
   std::size_t witness_depth = 0;  // violation witness steps kept per seed
 
+  // --- distributed execution (docs/DISTRIBUTED.md) ---
+  /// Worker *processes* for the out-of-process broker
+  /// (dist::run_distributed). 0 keeps the campaign in process; campaign::run
+  /// itself always runs in process and ignores this field. Total parallelism
+  /// of a distributed run is workers x jobs (processes x threads).
+  unsigned workers = 0;
+  /// esv-worker binary the broker spawns. Empty lets the broker fall back to
+  /// dist::default_worker_binary() (ESV_WORKER_BIN or the sibling of the
+  /// running executable).
+  std::string worker_binary;
+
   // --- fault injection (docs/FAULTS.md) ---
   /// Fault-plan text (the --faults file). Parsed together with any `fault`
   /// lines embedded in the spec; both target the same plan. Empty plus an
@@ -104,6 +115,11 @@ struct SeedResult {
   std::vector<std::uint64_t> prop_true_counts;
   std::uint64_t injected_faults = 0;  // faults injected into this seed's run
   std::string fault_log;  // deterministic rendered fault log (may truncate)
+  /// FaultPlan::digest() of the active plan, recorded when the seed errored
+  /// in a fault campaign: the (digest, seed) pair makes any crash report —
+  /// local or shipped back from a remote worker — reproducible with one
+  /// `esv-verify --seed=N --faults=PLAN` run against the matching plan file.
+  std::string fault_plan_digest;
   /// Per-seed metrics snapshot (collect_metrics only). Deterministic.
   obs::MetricsSnapshot metrics;
   /// Per-seed JSONL event trace (capture_traces / trace_dir only).
@@ -174,6 +190,19 @@ struct CampaignReport {
   // byte-identically for any jobs count.
   bool has_metrics = false;
   obs::MetricsSnapshot metrics;
+
+  // --- distributed-run operational data (docs/DISTRIBUTED.md) ---
+  // Everything below is timing-class information: it describes how the run
+  // was executed, never what it computed, and is excluded from every
+  // deterministic rendering so distributed and in-process reports stay
+  // byte-identical.
+  bool distributed = false;
+  unsigned workers = 0;  // worker processes (distributed runs only)
+  /// Broker-side `dist.*` counters (frames, bytes, steals, respawns, queue
+  /// depth) plus per-worker counters merged from METRICS frames.
+  obs::MetricsSnapshot dist_metrics;
+  /// Worker lifecycle JSONL (spawn/exit/respawn/timeout events).
+  std::string dist_events_jsonl;
 
   std::uint64_t total_steps = 0;
   std::uint64_t total_statements = 0;

@@ -95,6 +95,9 @@ std::string CampaignReport::verdict_table() const {
       out << "  error";
       if (!seed.error_kind.empty()) out << "[" << seed.error_kind << "]";
       out << ": " << seed.error;
+      if (!seed.fault_plan_digest.empty()) {
+        out << "  plan=" << seed.fault_plan_digest;
+      }
     }
     out << "\n";
   }
@@ -190,6 +193,10 @@ std::string CampaignReport::to_json(bool include_timing) const {
     if (!seed.error.empty()) {
       out << ", \"error\": \"" << json_escape(seed.error) << "\""
           << ", \"error_kind\": \"" << json_escape(seed.error_kind) << "\"";
+      if (!seed.fault_plan_digest.empty()) {
+        out << ", \"fault_plan_digest\": \""
+            << json_escape(seed.fault_plan_digest) << "\"";
+      }
     }
     if (!seed.witness.empty()) {
       out << ", \"witness\": \"" << json_escape(seed.witness) << "\"";
@@ -262,7 +269,15 @@ std::string CampaignReport::to_json(bool include_timing) const {
     out << ",\n  \"timing\": {\"wall_seconds\": " << std::fixed
         << std::setprecision(3) << wall_seconds
         << ", \"seeds_per_second\": " << std::setprecision(1)
-        << seeds_per_second() << "}";
+        << seeds_per_second();
+    out.unsetf(std::ios_base::floatfield);
+    if (distributed) out << ", \"workers\": " << workers;
+    out << "}";
+    if (distributed && !dist_metrics.empty()) {
+      // Operational only: how the run was executed (frames, bytes, steals,
+      // respawns), never what it computed — hence timing-class.
+      out << ",\n  \"dist\": " << dist_metrics.to_json(/*include_timing=*/true);
+    }
   }
   out << "\n}\n";
   return out.str();

@@ -1,0 +1,88 @@
+// Per-seed campaign execution, factored out of the thread-pool runner so the
+// in-process pool (campaign::run) and the out-of-process worker shards
+// (src/dist/, tools/esv-worker) execute seeds through exactly the same code
+// path. Determinism across deployment shapes — any --jobs count, any
+// --workers count, or the plain in-process runner — follows from this
+// sharing: a SeedResult is a pure function of (CampaignConfig, seed)
+// regardless of which process or thread computed it.
+//
+// Split of responsibilities:
+//   prepare_campaign()    validate the whole configuration once (spec parse,
+//                         fault-plan parse + resolve, property probe); throws
+//                         on configuration errors before any seed runs
+//   SeedRunner            one per worker thread; owns an isolated
+//                         verification stack and runs seeds with the bounded
+//                         infrastructure-retry policy
+//   make_report_skeleton  the config-echo half of a CampaignReport
+//   finalize_report       deterministic aggregation over report.seeds in
+//                         ascending seed order, metrics merge, and trace_dir
+//                         file writing — shared by the pool and the broker
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "fault/fault_plan.hpp"
+#include "spec/specfile.hpp"
+
+namespace esv::campaign {
+
+/// Validated, immutable, shareable campaign state. One instance serves every
+/// worker thread of a process; workers never mutate it.
+struct CampaignSetup {
+  spec::SpecFile specfile;
+  fault::FaultPlan plan;  // merged --faults + spec fault lines, resolved
+  std::vector<std::string> property_names;
+  std::vector<std::string> proposition_names;
+  /// FaultPlan::digest() of the resolved plan; empty on nominal campaigns.
+  /// Stamped into SeedResult::fault_plan_digest of every errored seed so a
+  /// crash report names the exact plan needed to reproduce it.
+  std::string plan_digest;
+};
+
+/// Validates the configuration (approach, seed range, spec, program, fault
+/// plan) and resolves everything that can fail before a single seed runs.
+/// Throws spec::SpecError, minic::SemaError, fault::FaultPlanError,
+/// std::invalid_argument, ... on configuration errors.
+CampaignSetup prepare_campaign(const CampaignConfig& config);
+
+/// One per worker thread. Construction compiles a private copy of the
+/// program (no AST, lowering, or code image is ever shared between threads);
+/// a construction failure is latched and reported per seed as an
+/// infrastructure error instead of thrown, so sibling workers are unaffected.
+class SeedRunner {
+ public:
+  SeedRunner(const CampaignConfig& config, const CampaignSetup& setup);
+  ~SeedRunner();
+  SeedRunner(const SeedRunner&) = delete;
+  SeedRunner& operator=(const SeedRunner&) = delete;
+
+  /// Runs one seed under the bounded retry policy: infrastructure errors are
+  /// retried up to config.seed_retries times, SUT faults and timeouts are
+  /// results. Never throws; every failure is captured in the SeedResult.
+  SeedResult run_seed(std::uint64_t seed);
+
+ private:
+  struct Stack;
+  SeedResult run_attempt(std::uint64_t seed);
+
+  const CampaignConfig& config_;
+  const CampaignSetup& setup_;
+  std::unique_ptr<Stack> stack_;
+  std::string stack_error_;
+};
+
+/// Fills the configuration-echo fields of a report (seed range, approach,
+/// mode, property names, fault-campaign header) and pre-sizes the seed slots.
+CampaignReport make_report_skeleton(const CampaignConfig& config,
+                                    const CampaignSetup& setup);
+
+/// Aggregates report.seeds (which must hold one slot per seed, ascending) on
+/// the calling thread: per-property tallies, merged coverage, totals, the
+/// merged metrics snapshot, and the trace_dir files. Byte-identical output
+/// for any schedule that produced the same per-seed results.
+void finalize_report(const CampaignConfig& config, const CampaignSetup& setup,
+                     CampaignReport& report);
+
+}  // namespace esv::campaign

@@ -1,0 +1,684 @@
+#include "dist/broker.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/seed_runner.hpp"
+#include "dist/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace esv::dist {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point then) {
+  return std::chrono::duration<double>(Clock::now() - then).count();
+}
+
+struct WorkerSlot {
+  unsigned id = 0;
+  unsigned generation = 0;
+  pid_t pid = -1;
+  bool alive = false;      // process running (not yet reaped)
+  bool kill_sent = false;  // SIGKILL already delivered this incarnation
+  bool retired = false;    // respawn budget exhausted; stays down
+  unsigned respawns = 0;
+
+  int fd = -1;
+  bool connected = false;
+  FrameReader reader;
+  /// Seed *indices* dispatched to this incarnation and not yet resulted.
+  std::deque<std::uint64_t> assigned;
+  Clock::time_point last_seen{};
+};
+
+struct PendingConn {
+  int fd = -1;
+  FrameReader reader;
+};
+
+class Broker {
+ public:
+  Broker(const campaign::CampaignConfig& config, const BrokerOptions& options)
+      : config_(config),
+        options_(options),
+        setup_(campaign::prepare_campaign(config)) {
+    count_ = config.seed_hi - config.seed_lo + 1;
+    jobs_ = config.jobs < 1 ? 1 : config.jobs;
+    std::uint64_t workers = config.workers < 1 ? 1 : config.workers;
+    workers_ = static_cast<unsigned>(std::min<std::uint64_t>(workers, count_));
+    shard_ = options.shard_size != 0
+                 ? options.shard_size
+                 : std::clamp<std::uint64_t>(count_ / (workers_ * 4), 1, 64);
+
+    binary_ = config.worker_binary.empty() ? default_worker_binary()
+                                           : config.worker_binary;
+    if (binary_.empty() || ::access(binary_.c_str(), X_OK) != 0) {
+      throw std::invalid_argument(
+          "dist: cannot resolve an executable esv-worker binary (set "
+          "ESV_WORKER_BIN or install esv-worker next to the running "
+          "executable)" +
+          (binary_.empty() ? std::string()
+                           : "; tried '" + binary_ + "'"));
+    }
+
+    // What crosses the wire: trace_dir stays broker-side (files are written
+    // by finalize_report after the merge), so workers just capture traces.
+    wire_config_ = config;
+    wire_config_.capture_traces =
+        config.capture_traces || !config.trace_dir.empty();
+
+    report_ = campaign::make_report_skeleton(config, setup_);
+    report_.jobs = jobs_;
+    filled_.assign(count_, 0);
+    crash_count_.assign(count_, 0);
+    for (std::uint64_t i = 0; i < count_; ++i) pending_.push_back(i);
+
+    open_socket();
+    slots_.resize(workers_);
+    for (unsigned i = 0; i < workers_; ++i) slots_[i].id = i;
+  }
+
+  ~Broker() { cleanup(); }
+
+  campaign::CampaignReport run() {
+    Clock::time_point start = Clock::now();
+    for (WorkerSlot& slot : slots_) spawn(slot);
+    event_loop();
+    shutdown_workers();
+
+    report_.distributed = true;
+    report_.workers = workers_;
+    obs::MetricsSnapshot dist = metrics_.snapshot();
+    dist.merge(worker_metrics_);
+    report_.dist_metrics = std::move(dist);
+    report_.dist_events_jsonl = events_.text();
+    campaign::finalize_report(config_, setup_, report_);
+    report_.wall_seconds = seconds_since(start);
+    return std::move(report_);
+  }
+
+ private:
+  // --- socket plumbing ---------------------------------------------------
+
+  void open_socket() {
+    std::string base = "/tmp";
+    if (const char* tmpdir = std::getenv("TMPDIR")) {
+      // sun_path is ~108 bytes; fall back to /tmp when TMPDIR is too deep.
+      if (std::strlen(tmpdir) > 0 && std::strlen(tmpdir) < 60) base = tmpdir;
+    }
+    std::string tmpl = base + "/esv-dist.XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      throw std::runtime_error("dist: mkdtemp failed for broker socket dir");
+    }
+    sock_dir_ = buf.data();
+    sock_path_ = sock_dir_ + "/broker.sock";
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("dist: socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (sock_path_.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("dist: broker socket path too long");
+    }
+    std::memcpy(addr.sun_path, sock_path_.c_str(), sock_path_.size() + 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(listen_fd_, static_cast<int>(workers_) + 4) != 0) {
+      throw std::runtime_error("dist: cannot bind broker socket " +
+                               sock_path_);
+    }
+    int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+    ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+
+  void cleanup() {
+    for (PendingConn& conn : pending_conns_) {
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+    pending_conns_.clear();
+    for (WorkerSlot& slot : slots_) {
+      if (slot.fd >= 0) ::close(slot.fd);
+      slot.fd = -1;
+      if (slot.alive && slot.pid > 0) {
+        ::kill(slot.pid, SIGKILL);
+        int status = 0;
+        while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        slot.alive = false;
+      }
+    }
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (!sock_path_.empty()) ::unlink(sock_path_.c_str());
+    if (!sock_dir_.empty()) ::rmdir(sock_dir_.c_str());
+    sock_path_.clear();
+    sock_dir_.clear();
+  }
+
+  // --- worker lifecycle --------------------------------------------------
+
+  void spawn(WorkerSlot& slot) {
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      slot.retired = true;
+      events_.worker_event("spawn_failed", slot.id, slot.generation,
+                           "fork failed");
+      return;
+    }
+    if (pid == 0) {
+      std::string connect_arg = "--connect=" + sock_path_;
+      std::string id_arg = "--id=" + std::to_string(slot.id);
+      std::string gen_arg = "--generation=" + std::to_string(slot.generation);
+      ::execl(binary_.c_str(), "esv-worker", connect_arg.c_str(),
+              id_arg.c_str(), gen_arg.c_str(), static_cast<char*>(nullptr));
+      ::_exit(127);  // exec failed; the parent reaps this as a crash
+    }
+    slot.pid = pid;
+    slot.alive = true;
+    slot.kill_sent = false;
+    slot.connected = false;
+    slot.fd = -1;
+    slot.reader = FrameReader();
+    slot.last_seen = Clock::now();
+    metrics_.counter("dist.spawns").add();
+    events_.worker_event(slot.generation == 0 ? "spawn" : "respawn", slot.id,
+                         slot.generation);
+    if (slot.generation != 0) metrics_.counter("dist.respawns").add();
+  }
+
+  void kill_slot(WorkerSlot& slot) {
+    if (slot.alive && slot.pid > 0 && !slot.kill_sent) {
+      ::kill(slot.pid, SIGKILL);
+      slot.kill_sent = true;
+    }
+  }
+
+  void reap_workers() {
+    for (WorkerSlot& slot : slots_) {
+      if (!slot.alive || slot.pid <= 0) continue;
+      int status = 0;
+      pid_t reaped = ::waitpid(slot.pid, &status, WNOHANG);
+      if (reaped != slot.pid) continue;
+      slot.alive = false;
+      std::string reason;
+      if (WIFEXITED(status)) {
+        reason = "exited with status " + std::to_string(WEXITSTATUS(status));
+      } else if (WIFSIGNALED(status)) {
+        reason = "killed by signal " + std::to_string(WTERMSIG(status));
+      } else {
+        reason = "stopped";
+      }
+      on_worker_down(slot, reason);
+    }
+  }
+
+  void check_timeouts() {
+    if (options_.heartbeat_timeout_seconds <= 0.0) return;
+    for (WorkerSlot& slot : slots_) {
+      if (!slot.alive || slot.kill_sent) continue;
+      if (seconds_since(slot.last_seen) < options_.heartbeat_timeout_seconds)
+        continue;
+      metrics_.counter("dist.timeouts").add();
+      events_.worker_event("timeout", slot.id, slot.generation,
+                           "no frame within heartbeat timeout");
+      kill_slot(slot);  // the reap path classifies it as a crash
+    }
+  }
+
+  /// The single exit point for a dead incarnation: salvage buffered frames,
+  /// re-dispatch or abandon its seeds, and respawn the slot if the budget
+  /// allows. Called exactly once per incarnation (from reap_workers).
+  void on_worker_down(WorkerSlot& slot, const std::string& reason) {
+    if (slot.fd >= 0) {
+      // The process is dead, so EOF is guaranteed: drain whatever RESULT /
+      // METRICS frames it managed to send before dying.
+      drain_fd(slot);
+      ::close(slot.fd);
+      slot.fd = -1;
+    }
+    slot.connected = false;
+    metrics_.counter("dist.worker_exits").add();
+    events_.worker_event("exit", slot.id, slot.generation, reason);
+    if (draining_) {
+      slot.assigned.clear();
+      return;
+    }
+    for (std::uint64_t index : slot.assigned) {
+      if (filled_[index]) continue;
+      ++crash_count_[index];
+      if (crash_count_[index] <= config_.seed_retries) {
+        pending_.push_front(index);
+        metrics_.counter("dist.redispatched_seeds").add();
+      } else {
+        abandon(index,
+                "worker crashed while running this seed (" + reason +
+                    ") and the --seed-retries re-dispatch budget is spent");
+      }
+    }
+    slot.assigned.clear();
+    if (filled_count_ >= count_) return;
+    if (slot.respawns >= options_.max_respawns) {
+      slot.retired = true;
+      return;
+    }
+    ++slot.respawns;
+    ++slot.generation;
+    spawn(slot);
+  }
+
+  // --- scheduling --------------------------------------------------------
+
+  bool send_to(WorkerSlot& slot, const std::string& payload) {
+    try {
+      write_frame(slot.fd, payload);
+    } catch (const WireError&) {
+      ::close(slot.fd);
+      slot.fd = -1;
+      slot.connected = false;
+      kill_slot(slot);  // reap re-dispatches everything it held
+      return false;
+    }
+    metrics_.counter("dist.frames_tx").add();
+    metrics_.counter("dist.bytes_tx").add(payload.size() + 4);
+    return true;
+  }
+
+  /// Keeps a connected worker fed: tops its outstanding set up to a shard
+  /// from the pending queue, and when the queue is dry and the worker is
+  /// idle, steals the tail of the busiest worker's outstanding seeds. Stolen
+  /// seeds stay queued on the victim too (there is no CANCEL frame); the
+  /// broker keeps the first RESULT per seed, which is safe because results
+  /// are deterministic.
+  void top_up(WorkerSlot& slot) {
+    if (!slot.connected) return;
+    const std::size_t low_water = std::max<std::size_t>(2 * jobs_, 2);
+    if (slot.assigned.size() >= low_water) return;
+
+    std::vector<std::uint64_t> seeds;
+    while (!pending_.empty() && seeds.size() < shard_) {
+      std::uint64_t index = pending_.front();
+      pending_.pop_front();
+      if (filled_[index]) continue;
+      slot.assigned.push_back(index);
+      seeds.push_back(config_.seed_lo + index);
+    }
+
+    if (seeds.empty() && slot.assigned.empty()) {
+      WorkerSlot* victim = nullptr;
+      for (WorkerSlot& other : slots_) {
+        if (other.id == slot.id || !other.connected) continue;
+        if (victim == nullptr ||
+            other.assigned.size() > victim->assigned.size()) {
+          victim = &other;
+        }
+      }
+      if (victim != nullptr && victim->assigned.size() >= 2) {
+        std::size_t take = victim->assigned.size() / 2;
+        while (take-- > 0) {
+          std::uint64_t index = victim->assigned.back();
+          victim->assigned.pop_back();
+          slot.assigned.push_back(index);
+          seeds.push_back(config_.seed_lo + index);
+        }
+        metrics_.counter("dist.steals").add();
+        metrics_.counter("dist.stolen_seeds").add(seeds.size());
+        events_.worker_event("steal", slot.id, slot.generation,
+                             std::to_string(seeds.size()) +
+                                 " seeds from worker " +
+                                 std::to_string(victim->id));
+      }
+    }
+
+    if (!seeds.empty()) {
+      metrics_.counter("dist.assign_frames").add();
+      send_to(slot, make_assign(seeds));
+    }
+  }
+
+  void abandon(std::uint64_t index, const std::string& reason) {
+    campaign::SeedResult result;
+    result.seed = config_.seed_lo + index;
+    result.error = "distributed: " + reason;
+    result.error_kind = "infrastructure";
+    result.attempts = std::max(1u, crash_count_[index]);
+    result.fault_plan_digest = setup_.plan_digest;
+    report_.seeds[index] = std::move(result);
+    filled_[index] = 1;
+    ++filled_count_;
+    metrics_.counter("dist.abandoned_seeds").add();
+  }
+
+  void abandon_remaining(const std::string& reason) {
+    for (std::uint64_t index = 0; index < count_; ++index) {
+      if (!filled_[index]) abandon(index, reason);
+    }
+  }
+
+  // --- frame handling ----------------------------------------------------
+
+  void handle_result(const Json& body) {
+    campaign::SeedResult result = seed_result_from_json(body.at("result"));
+    if (result.seed < config_.seed_lo || result.seed > config_.seed_hi) return;
+    std::uint64_t index = result.seed - config_.seed_lo;
+    for (WorkerSlot& slot : slots_) {
+      auto it = std::find(slot.assigned.begin(), slot.assigned.end(), index);
+      if (it != slot.assigned.end()) slot.assigned.erase(it);
+    }
+    if (filled_[index]) {
+      metrics_.counter("dist.duplicate_results").add();
+      return;
+    }
+    report_.seeds[index] = std::move(result);
+    filled_[index] = 1;
+    ++filled_count_;
+    metrics_.counter("dist.results_rx").add();
+  }
+
+  void handle_frame(WorkerSlot& slot, const std::string& payload) {
+    slot.last_seen = Clock::now();
+    metrics_.counter("dist.frames_rx").add();
+    metrics_.counter("dist.bytes_rx").add(payload.size() + 4);
+    Frame frame;
+    try {
+      frame = parse_frame(payload);
+    } catch (const WireError&) {
+      kill_slot(slot);  // stream corruption: treat the incarnation as dead
+      return;
+    }
+    switch (frame.kind) {
+      case FrameKind::kResult:
+        handle_result(frame.body);
+        break;
+      case FrameKind::kMetrics:
+        try {
+          worker_metrics_.merge(metrics_from_json(frame.body.at("metrics")));
+        } catch (const WireError&) {
+        }
+        break;
+      case FrameKind::kHeartbeat:
+        metrics_.counter("dist.heartbeats_rx").add();
+        metrics_.duration_histogram("dist.worker_queue_depth")
+            .record(frame.body.u64_or("queued", 0));
+        break;
+      default:
+        break;  // late HELLO / broker-bound kinds: nothing to do
+    }
+  }
+
+  /// Reads until EOF on a dead incarnation's socket, salvaging complete
+  /// frames. Safe to block: the peer process has exited, so the kernel
+  /// delivers the buffered bytes and then EOF.
+  void drain_fd(WorkerSlot& slot) {
+    char buf[65536];
+    for (;;) {
+      ssize_t n = ::recv(slot.fd, buf, sizeof buf, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      slot.reader.feed(buf, static_cast<std::size_t>(n));
+      while (std::optional<std::string> payload = slot.reader.next()) {
+        handle_frame(slot, *payload);
+      }
+    }
+  }
+
+  void attach_worker(PendingConn& conn, const Json& hello) {
+    unsigned id = static_cast<unsigned>(hello.u64_or("worker", ~0u));
+    unsigned generation =
+        static_cast<unsigned>(hello.u64_or("generation", ~0u));
+    bool version_ok = hello.u64_or("protocol", 0) == kProtocolVersion;
+    WorkerSlot* slot =
+        id < slots_.size() && version_ok ? &slots_[id] : nullptr;
+    if (slot == nullptr || slot->generation != generation || !slot->alive ||
+        slot->connected) {
+      ::close(conn.fd);  // stale incarnation or protocol skew
+      conn.fd = -1;
+      return;
+    }
+    slot->fd = conn.fd;
+    conn.fd = -1;
+    slot->reader = std::move(conn.reader);
+    slot->connected = true;
+    slot->last_seen = Clock::now();
+    events_.worker_event("connect", slot->id, slot->generation);
+    if (send_to(*slot, make_broker_hello(wire_config_))) {
+      // A worker that finishes its handshake while the broker is already
+      // draining (it was respawned just before the last seed landed) gets an
+      // immediate SHUTDOWN, so the drain never waits out the grace period.
+      if (draining_) {
+        send_to(*slot, make_shutdown());
+      } else {
+        top_up(*slot);
+      }
+    }
+  }
+
+  // --- event loop --------------------------------------------------------
+
+  void accept_connections() {
+    for (;;) {
+      int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN / EWOULDBLOCK: drained
+      }
+      PendingConn conn;
+      conn.fd = fd;
+      pending_conns_.push_back(std::move(conn));
+    }
+  }
+
+  /// One recv() on a readable pre-HELLO connection; a complete HELLO frame
+  /// promotes it to its worker slot.
+  void read_pending(PendingConn& conn) {
+    char buf[4096];
+    ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) return;
+    if (n <= 0) {
+      ::close(conn.fd);
+      conn.fd = -1;
+      return;
+    }
+    conn.reader.feed(buf, static_cast<std::size_t>(n));
+    std::optional<std::string> payload = conn.reader.next();
+    if (!payload) return;
+    try {
+      Frame frame = parse_frame(*payload);
+      if (frame.kind == FrameKind::kHello) {
+        attach_worker(conn, frame.body);
+        return;
+      }
+    } catch (const WireError&) {
+    }
+    ::close(conn.fd);  // first frame was not a well-formed HELLO
+    conn.fd = -1;
+  }
+
+  /// One recv() on a connected worker socket. EOF just closes the fd; seed
+  /// accounting waits for the authoritative reap.
+  void read_worker(WorkerSlot& slot) {
+    char buf[65536];
+    ssize_t n = ::recv(slot.fd, buf, sizeof buf, 0);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) return;
+    if (n <= 0) {
+      ::close(slot.fd);
+      slot.fd = -1;
+      slot.connected = false;
+      return;
+    }
+    slot.reader.feed(buf, static_cast<std::size_t>(n));
+    while (std::optional<std::string> payload = slot.reader.next()) {
+      handle_frame(slot, *payload);
+      if (!slot.connected) break;  // handle_frame killed the incarnation
+    }
+  }
+
+  void poll_io(int timeout_ms) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    // Index-based bookkeeping for the pre-HELLO connections: the accept
+    // below push_backs into pending_conns_, which can reallocate, so
+    // pointers/references taken here would dangle. Accepts only append, so
+    // indices below the snapshot count stay stable.
+    const std::size_t polled_pending = pending_conns_.size();
+    for (PendingConn& conn : pending_conns_) {
+      fds.push_back({conn.fd, POLLIN, 0});
+    }
+    std::vector<WorkerSlot*> slot_order;
+    for (WorkerSlot& slot : slots_) {
+      if (slot.fd < 0) continue;
+      fds.push_back({slot.fd, POLLIN, 0});
+      slot_order.push_back(&slot);
+    }
+    int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready <= 0) return;
+    if (fds[0].revents != 0) accept_connections();
+    std::size_t cursor = 1;
+    for (std::size_t i = 0; i < polled_pending; ++i) {
+      PendingConn& conn = pending_conns_[i];
+      if (fds[cursor++].revents != 0 && conn.fd >= 0) read_pending(conn);
+    }
+    for (WorkerSlot* slot : slot_order) {
+      if (fds[cursor++].revents != 0 && slot->fd >= 0) read_worker(*slot);
+    }
+    pending_conns_.erase(
+        std::remove_if(pending_conns_.begin(), pending_conns_.end(),
+                       [](const PendingConn& conn) { return conn.fd < 0; }),
+        pending_conns_.end());
+  }
+
+  void event_loop() {
+    while (filled_count_ < count_) {
+      reap_workers();
+      check_timeouts();
+      if (filled_count_ >= count_) break;
+      bool any_alive = false;
+      for (const WorkerSlot& slot : slots_) any_alive |= slot.alive;
+      if (!any_alive) {
+        abandon_remaining(
+            "no live workers remain (respawn budget exhausted)");
+        break;
+      }
+      for (WorkerSlot& slot : slots_) top_up(slot);
+      poll_io(100);
+    }
+  }
+
+  void shutdown_workers() {
+    draining_ = true;
+    for (WorkerSlot& slot : slots_) {
+      if (slot.connected) send_to(slot, make_shutdown());
+    }
+    Clock::time_point deadline =
+        Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(options_.shutdown_grace_seconds));
+    for (;;) {
+      reap_workers();  // drains each exiting worker's final METRICS frame
+      bool any_alive = false;
+      for (const WorkerSlot& slot : slots_) any_alive |= slot.alive;
+      if (!any_alive) break;
+      if (Clock::now() >= deadline) {
+        for (WorkerSlot& slot : slots_) {
+          if (!slot.alive) continue;
+          events_.worker_event("killed_at_shutdown", slot.id, slot.generation);
+          kill_slot(slot);
+        }
+        reap_blocking();
+        break;
+      }
+      poll_io(50);
+    }
+  }
+
+  void reap_blocking() {
+    for (WorkerSlot& slot : slots_) {
+      if (!slot.alive || slot.pid <= 0) continue;
+      int status = 0;
+      while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      slot.alive = false;
+      on_worker_down(slot, "killed at shutdown");
+    }
+  }
+
+  const campaign::CampaignConfig& config_;
+  BrokerOptions options_;
+  campaign::CampaignSetup setup_;
+  campaign::CampaignConfig wire_config_;
+  campaign::CampaignReport report_;
+
+  std::uint64_t count_ = 0;
+  unsigned jobs_ = 1;
+  unsigned workers_ = 1;
+  std::uint64_t shard_ = 1;
+  std::string binary_;
+
+  std::string sock_dir_;
+  std::string sock_path_;
+  int listen_fd_ = -1;
+
+  std::vector<WorkerSlot> slots_;
+  std::vector<PendingConn> pending_conns_;
+  std::deque<std::uint64_t> pending_;  // undispatched seed indices
+  std::vector<char> filled_;
+  std::vector<unsigned> crash_count_;  // crashes while the seed was in flight
+  std::uint64_t filled_count_ = 0;
+  bool draining_ = false;
+
+  obs::MetricsRegistry metrics_;
+  obs::MetricsSnapshot worker_metrics_;
+  obs::TraceWriter events_;
+};
+
+}  // namespace
+
+std::string default_worker_binary() {
+  if (const char* env = std::getenv("ESV_WORKER_BIN")) {
+    if (*env != '\0') return env;
+  }
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  std::string path(buf);
+  std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "";
+  std::string sibling = path.substr(0, slash + 1) + "esv-worker";
+  return ::access(sibling.c_str(), X_OK) == 0 ? sibling : "";
+}
+
+campaign::CampaignReport run_distributed(
+    const campaign::CampaignConfig& config) {
+  return run_distributed(config, BrokerOptions{});
+}
+
+campaign::CampaignReport run_distributed(const campaign::CampaignConfig& config,
+                                         const BrokerOptions& options) {
+  Broker broker(config, options);
+  return broker.run();
+}
+
+}  // namespace esv::dist

@@ -1,0 +1,55 @@
+// Campaign broker: runs a multi-seed campaign across out-of-process worker
+// shards (tools/esv-worker) with crash isolation. The broker owns a Unix
+// domain socket, spawns `config.workers` worker processes, shards the seed
+// range to them with a work-stealing scheduler, and merges the streamed
+// RESULT frames into the same CampaignReport the in-process runner builds —
+// finalized by the shared campaign::finalize_report, so every deterministic
+// rendering is byte-identical for any workers x jobs combination and for the
+// in-process runner.
+//
+// Failure containment (the failure matrix in docs/DISTRIBUTED.md):
+//   * worker crash (exit, signal, SIGKILL) — its in-flight seeds are
+//     re-dispatched to surviving workers under config.seed_retries; the slot
+//     respawns up to BrokerOptions::max_respawns times
+//   * worker hang — no frame within heartbeat_timeout_seconds is treated as
+//     a crash: SIGKILL, then the crash path above
+//   * re-dispatch budget exhausted, or every worker dead with no respawns
+//     left — the affected seeds become deterministic `infrastructure`-kind
+//     SeedResults; the campaign itself still completes
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+namespace esv::dist {
+
+struct BrokerOptions {
+  /// Respawn budget per worker slot (a slot that keeps dying stays dead
+  /// after this many respawns).
+  unsigned max_respawns = 2;
+  /// A worker silent for this long (no result, metrics, or heartbeat; the
+  /// worker side heartbeats every 200ms) is SIGKILLed and treated as
+  /// crashed. Also bounds the spawn -> HELLO handshake.
+  double heartbeat_timeout_seconds = 30.0;
+  /// How long to wait after SHUTDOWN for the final METRICS frames before
+  /// killing stragglers.
+  double shutdown_grace_seconds = 5.0;
+  /// Seeds per ASSIGN frame; 0 picks clamp(count / (workers * 4), 1, 64).
+  std::uint64_t shard_size = 0;
+};
+
+/// Resolves the esv-worker binary: $ESV_WORKER_BIN if set, else the
+/// `esv-worker` sibling of the running executable (/proc/self/exe). Returns
+/// an empty string when neither resolves to an executable file.
+std::string default_worker_binary();
+
+/// Runs `config` distributed over config.workers processes (clamped to at
+/// least 1 and at most the seed count). Throws std::invalid_argument when no
+/// worker binary can be resolved, plus everything campaign::run throws on
+/// configuration errors (the broker validates the config before spawning).
+campaign::CampaignReport run_distributed(const campaign::CampaignConfig& config);
+campaign::CampaignReport run_distributed(const campaign::CampaignConfig& config,
+                                         const BrokerOptions& options);
+
+}  // namespace esv::dist

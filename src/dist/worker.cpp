@@ -1,0 +1,254 @@
+#include "dist/worker.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <fcntl.h>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/seed_runner.hpp"
+#include "dist/protocol.hpp"
+#include "obs/metrics.hpp"
+
+namespace esv::dist {
+namespace {
+
+struct WorkerState {
+  int fd = -1;
+  unsigned id = 0;
+  unsigned generation = 0;
+
+  // One mutex serializes every outbound frame: results from the compute
+  // threads, heartbeats from the heartbeat thread, the final metrics frame.
+  std::mutex send_mutex;
+  obs::MetricsRegistry metrics;
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<std::uint64_t> queue;  // assigned seeds not yet picked up
+  bool closed = false;              // no more ASSIGNs will arrive
+  std::atomic<std::uint64_t> busy{0};
+  std::atomic<bool> stop_heartbeat{false};
+};
+
+void send_payload(WorkerState& state, const std::string& payload) {
+  std::lock_guard<std::mutex> lock(state.send_mutex);
+  write_frame(state.fd, payload);
+  state.metrics.counter("dist.worker.frames_tx").add();
+  state.metrics.counter("dist.worker.bytes_tx").add(payload.size() + 4);
+}
+
+/// Test hook: ESV_WORKER_TEST_CRASH_SEED=<seed> makes a generation-0 worker
+/// die with SIGKILL the moment it picks up that seed, exactly like a real
+/// mid-seed crash. ESV_WORKER_TEST_CRASH_LATCH=<path> arms the hook at most
+/// once across the whole campaign (the first worker to reach the seed
+/// O_CREAT|O_EXCLs the latch file and dies; everyone after sees the file and
+/// runs the seed normally), so crash tests converge no matter which worker
+/// the seed lands on first.
+void maybe_test_crash(const WorkerState& state, std::uint64_t seed) {
+  if (state.generation != 0) return;
+  const char* crash_seed = std::getenv("ESV_WORKER_TEST_CRASH_SEED");
+  if (crash_seed == nullptr || std::strtoull(crash_seed, nullptr, 10) != seed)
+    return;
+  if (const char* latch = std::getenv("ESV_WORKER_TEST_CRASH_LATCH")) {
+    int fd = ::open(latch, O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) return;  // someone already crashed on this seed
+    ::close(fd);
+  }
+  ::raise(SIGKILL);
+}
+
+void compute_loop(WorkerState& state, const campaign::CampaignConfig& config,
+                  const campaign::CampaignSetup& setup) {
+  campaign::SeedRunner runner(config, setup);
+  obs::Counter& seeds_run = state.metrics.counter("dist.worker.seeds_run");
+  for (;;) {
+    std::uint64_t seed = 0;
+    {
+      std::unique_lock<std::mutex> lock(state.queue_mutex);
+      state.queue_cv.wait(
+          lock, [&] { return state.closed || !state.queue.empty(); });
+      if (state.queue.empty()) return;
+      seed = state.queue.front();
+      state.queue.pop_front();
+    }
+    state.busy.fetch_add(1, std::memory_order_relaxed);
+    maybe_test_crash(state, seed);
+    campaign::SeedResult result = runner.run_seed(seed);
+    seeds_run.add();
+    try {
+      send_payload(state, make_result(result));
+    } catch (const WireError&) {
+      std::_Exit(0);  // broker is gone; nothing left to report to
+    }
+    state.busy.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void heartbeat_loop(WorkerState& state) {
+  while (!state.stop_heartbeat.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    std::uint64_t queued = 0;
+    {
+      std::lock_guard<std::mutex> lock(state.queue_mutex);
+      queued = state.queue.size();
+    }
+    try {
+      send_payload(state, make_heartbeat(
+                              queued, state.busy.load(std::memory_order_relaxed)));
+      state.metrics.counter("dist.worker.heartbeats_tx").add();
+    } catch (const WireError&) {
+      std::_Exit(0);
+    }
+  }
+}
+
+int fail_usage(const char* message) {
+  std::fprintf(stderr, "esv-worker: %s\n", message);
+  std::fprintf(stderr,
+               "usage: esv-worker --connect=SOCKET --id=N --generation=G\n");
+  return 2;
+}
+
+}  // namespace
+
+int worker_main(int argc, char** argv) {
+  std::string socket_path;
+  unsigned id = 0;
+  unsigned generation = 0;
+  bool have_id = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--connect=", 0) == 0) {
+      socket_path = arg.substr(10);
+    } else if (arg.rfind("--id=", 0) == 0) {
+      id = static_cast<unsigned>(
+          std::strtoul(std::string(arg.substr(5)).c_str(), nullptr, 10));
+      have_id = true;
+    } else if (arg.rfind("--generation=", 0) == 0) {
+      generation = static_cast<unsigned>(
+          std::strtoul(std::string(arg.substr(13)).c_str(), nullptr, 10));
+    } else {
+      return fail_usage("unknown argument");
+    }
+  }
+  if (socket_path.empty() || !have_id) {
+    return fail_usage("--connect and --id are required");
+  }
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return fail_usage("socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return fail_usage("socket path too long");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail_usage("cannot connect to broker socket");
+  }
+
+  WorkerState state;
+  state.fd = fd;
+  state.id = id;
+  state.generation = generation;
+
+  campaign::CampaignConfig config;
+  try {
+    write_frame(fd, make_worker_hello(id, generation, ::getpid()));
+    std::optional<std::string> reply = read_frame(fd);
+    if (!reply) return 1;  // broker vanished before configuring us
+    Frame frame = parse_frame(*reply);
+    if (frame.kind != FrameKind::kHello ||
+        frame.body.at("protocol").as_u64() != kProtocolVersion) {
+      return fail_usage("protocol mismatch in broker hello");
+    }
+    config = config_from_json(frame.body.at("config"));
+  } catch (const WireError& error) {
+    std::fprintf(stderr, "esv-worker: handshake failed: %s\n", error.what());
+    return 1;
+  }
+
+  // The broker validated this exact config before spawning us, so a setup
+  // failure here means broker/worker version skew — die loudly and let the
+  // broker's crash path classify the assigned seeds.
+  campaign::CampaignSetup setup;
+  try {
+    setup = campaign::prepare_campaign(config);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "esv-worker: campaign setup failed: %s\n",
+                 error.what());
+    return 1;
+  }
+
+  unsigned jobs = config.jobs < 1 ? 1 : config.jobs;
+  std::vector<std::thread> compute;
+  compute.reserve(jobs);
+  for (unsigned i = 0; i < jobs; ++i) {
+    compute.emplace_back(
+        [&state, &config, &setup] { compute_loop(state, config, setup); });
+  }
+  std::thread heartbeat([&state] { heartbeat_loop(state); });
+
+  // Main thread: the inbound frame loop. ASSIGN feeds the queue; SHUTDOWN
+  // triggers the final METRICS frame and a direct exit (compute threads are
+  // either idle or working on seeds the broker has already written off).
+  for (;;) {
+    std::optional<std::string> payload;
+    try {
+      payload = read_frame(fd);
+    } catch (const WireError&) {
+      std::_Exit(0);
+    }
+    if (!payload) std::_Exit(0);  // broker closed the stream
+    state.metrics.counter("dist.worker.frames_rx").add();
+    state.metrics.counter("dist.worker.bytes_rx").add(payload->size() + 4);
+    Frame frame;
+    try {
+      frame = parse_frame(*payload);
+    } catch (const WireError& error) {
+      std::fprintf(stderr, "esv-worker: bad frame: %s\n", error.what());
+      std::_Exit(1);
+    }
+    switch (frame.kind) {
+      case FrameKind::kAssign: {
+        state.metrics.counter("dist.worker.assigns_rx").add();
+        std::lock_guard<std::mutex> lock(state.queue_mutex);
+        for (const Json& seed : frame.body.at("seeds").items()) {
+          state.queue.push_back(seed.as_u64());
+        }
+        state.queue_cv.notify_all();
+        break;
+      }
+      case FrameKind::kShutdown: {
+        // Drain in-flight sends, then report metrics and exit. Seeds still
+        // queued or running are intentionally dropped: the broker only sends
+        // SHUTDOWN once every seed slot is filled.
+        state.stop_heartbeat.store(true, std::memory_order_relaxed);
+        try {
+          send_payload(state, make_metrics(state.metrics.snapshot()));
+        } catch (const WireError&) {
+        }
+        std::_Exit(0);
+      }
+      default:
+        break;  // HELLO/RESULT/METRICS/HEARTBEAT are not broker->worker
+    }
+  }
+}
+
+}  // namespace esv::dist

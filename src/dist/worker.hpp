@@ -1,0 +1,20 @@
+// esv-worker: the out-of-process campaign shard executor. The broker
+// (src/dist/broker.*) spawns one esv-worker per --workers slot; each worker
+// connects back over the broker's Unix-domain socket, receives the campaign
+// configuration in the HELLO reply, runs `jobs` compute threads over the
+// seeds it is ASSIGNed, and streams one RESULT frame per finished seed.
+// Crash isolation is the point: a seed that takes the whole process down
+// (stack overflow, OOM kill, a real segfault in the verification stack)
+// costs only the seeds in flight on this worker, which the broker
+// re-dispatches elsewhere.
+#pragma once
+
+namespace esv::dist {
+
+/// Entry point of the esv-worker tool. Expects:
+///   esv-worker --connect=SOCKET_PATH --id=N --generation=G
+/// Returns 2 on usage errors; on transport loss or SHUTDOWN the process
+/// exits directly (it has nothing to clean up by design).
+int worker_main(int argc, char** argv);
+
+}  // namespace esv::dist

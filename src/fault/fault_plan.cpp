@@ -1,5 +1,6 @@
 #include "fault/fault_plan.hpp"
 
+#include <iomanip>
 #include <sstream>
 
 #include "common/strings.hpp"
@@ -125,6 +126,26 @@ void FaultPlan::resolve(
     }
     entry.resolved = true;
   }
+}
+
+std::string FaultPlan::digest() const {
+  if (entries.empty()) return "";
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a 64
+  const auto mix = [&hash](const std::string& text) {
+    for (const unsigned char c : text) {
+      hash ^= c;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (const FaultSpec& entry : entries) {
+    std::ostringstream line;
+    line << entry.describe() << " window " << entry.from << ".." << entry.until
+         << " prob " << entry.prob_num << "/" << entry.prob_den << "\n";
+    mix(line.str());
+  }
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << hash;
+  return out.str();
 }
 
 FaultSpec parse_fault_line(std::string_view text, int line) {

@@ -95,6 +95,13 @@ struct FaultPlan {
   /// FaultPlanError for anything it cannot resolve.
   void resolve(
       const std::function<bool(const std::string&, std::uint32_t&)>& resolver);
+
+  /// Stable 16-hex-digit FNV-1a digest over the canonical rendering of every
+  /// entry (kind, target, bit values, window, probability — not source line
+  /// numbers). Two plans with the same digest inject identically for a given
+  /// seed, so error reports stamp it to make crashes reproducible. Empty
+  /// plans digest to "".
+  std::string digest() const;
 };
 
 /// Parses a whole fault-plan file: one directive per line, blank lines and

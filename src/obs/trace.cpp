@@ -91,6 +91,21 @@ void TraceWriter::handshake(std::uint64_t steps) {
   append(line.str());
 }
 
+void TraceWriter::worker_event(std::string_view event, unsigned worker,
+                               unsigned generation, std::string_view detail) {
+  std::ostringstream line;
+  line << "{\"type\":\"worker\",\"event\":\"";
+  escape_into(line, event);
+  line << "\",\"worker\":" << worker << ",\"generation\":" << generation;
+  if (!detail.empty()) {
+    line << ",\"detail\":\"";
+    escape_into(line, detail);
+    line << "\"";
+  }
+  line << "}";
+  append(line.str());
+}
+
 void TraceWriter::seed_end(std::uint64_t seed, std::uint64_t steps,
                            std::uint64_t validated, std::uint64_t violated,
                            std::uint64_t pending) {

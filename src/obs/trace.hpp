@@ -20,6 +20,9 @@
 //   {"type":"handshake","steps":N}
 //   {"type":"seed_end","seed":N,"steps":N,"validated":N,"violated":N,
 //    "pending":N}
+//   {"type":"worker","event":"spawn"|"exit"|"respawn"|"timeout",
+//    "worker":N,"generation":N,"detail":"..."}   (broker lifecycle trace —
+//    operational, never merged into the deterministic per-seed traces)
 #pragma once
 
 #include <cstdint>
@@ -40,6 +43,9 @@ class TraceWriter {
                        std::uint32_t state);
   void fault(std::uint64_t step, std::string_view text);
   void handshake(std::uint64_t steps);
+  /// Worker lifecycle event (distributed campaigns; docs/DISTRIBUTED.md).
+  void worker_event(std::string_view event, unsigned worker,
+                    unsigned generation, std::string_view detail = {});
   void seed_end(std::uint64_t seed, std::uint64_t steps,
                 std::uint64_t validated, std::uint64_t violated,
                 std::uint64_t pending);

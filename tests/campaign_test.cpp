@@ -242,6 +242,56 @@ check terminates: F done
   EXPECT_EQ(report.verdict_table(), again.verdict_table());
 }
 
+TEST(CampaignTest, ErroredSeedsRecordFaultPlanDigest) {
+  // In a fault campaign every errored seed carries the plan digest, so a
+  // crash report (local or shipped back from a distributed worker) names the
+  // exact (plan, seed) pair needed to reproduce it with one
+  // `esv-verify --seed=N --faults=PLAN` run.
+  CampaignConfig config = blinker_config(1, 6, 2);
+  config.program_source = R"(
+int cycles;
+void main(void) {
+  while (cycles < 50) {
+    int x = __in(x);
+    assert(x < 3);
+    cycles = cycles + 1;
+  }
+}
+)";
+  config.spec_text = R"(
+input x 0 3
+prop done = cycles >= 50
+check terminates: F done
+)";
+  config.fault_plan_text = "bitflip cycles window 10..10\n";
+  const CampaignReport report = run(config);
+  ASSERT_GT(report.error_seeds, 0u);
+  std::string digest;
+  for (const SeedResult& seed : report.seeds) {
+    if (seed.error.empty()) {
+      EXPECT_TRUE(seed.fault_plan_digest.empty()) << seed.seed;
+    } else {
+      ASSERT_EQ(seed.fault_plan_digest.size(), 16u) << seed.seed;
+      if (digest.empty()) digest = seed.fault_plan_digest;
+      EXPECT_EQ(seed.fault_plan_digest, digest);  // one plan, one digest
+    }
+  }
+  // The digest surfaces in both renderings of the error.
+  EXPECT_NE(report.verdict_table().find("plan=" + digest), std::string::npos)
+      << report.verdict_table();
+  EXPECT_NE(report.to_json(false).find("\"fault_plan_digest\": \"" + digest),
+            std::string::npos);
+
+  // Nominal campaigns have no plan, so errored seeds carry no digest.
+  config.fault_plan_text.clear();
+  const CampaignReport nominal = run(config);
+  ASSERT_GT(nominal.error_seeds, 0u);
+  for (const SeedResult& seed : nominal.seeds) {
+    EXPECT_TRUE(seed.fault_plan_digest.empty());
+  }
+  EXPECT_EQ(nominal.verdict_table().find("plan="), std::string::npos);
+}
+
 TEST(CampaignTest, MergedCoverageIsSumOfSeeds) {
   const CampaignReport report = run(blinker_config(1, 10, 4));
   ASSERT_FALSE(report.coverage.empty());

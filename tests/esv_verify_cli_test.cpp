@@ -317,6 +317,74 @@ TEST(EsvVerifyCliTest, CampaignMetricsIdenticalAcrossJobsAndInReport) {
   EXPECT_NE(slurp(report).find("\"metrics\": {"), std::string::npos);
 }
 
+TEST(EsvVerifyCliTest, TraceDirAndWorkersAreCampaignOnly) {
+  const RunResult trace_dir =
+      run_cli(sample_args() + " --trace-dir=/tmp/td");
+  EXPECT_EQ(trace_dir.exit_code, 2);
+  EXPECT_NE(
+      trace_dir.output.find("--trace-dir is only available in campaign mode"),
+      std::string::npos)
+      << trace_dir.output;
+
+  const RunResult workers = run_cli(sample_args() + " --workers=2");
+  EXPECT_EQ(workers.exit_code, 2);
+  EXPECT_NE(
+      workers.output.find("--workers is only available in campaign mode"),
+      std::string::npos)
+      << workers.output;
+
+  for (const char* flag : {"--workers=0", "--workers=x", "--workers="}) {
+    const RunResult r = run_cli(sample_args() + " --campaign=1..2 " + flag);
+    EXPECT_EQ(r.exit_code, 2) << flag << "\n" << r.output;
+    EXPECT_NE(r.output.find("--workers must be a positive integer"),
+              std::string::npos)
+        << r.output;
+  }
+}
+
+TEST(EsvVerifyCliTest, CampaignTraceDirWritesPerSeedTraces) {
+  const std::string dir = ::testing::TempDir() + "/campaign_traces";
+  const RunResult r = run_cli(sample_args() + " --campaign=3..5 --jobs=2" +
+                              " --trace-dir=" + dir + " --quiet");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (int seed = 3; seed <= 5; ++seed) {
+    const std::string path =
+        dir + "/seed_" + std::to_string(seed) + ".trace.jsonl";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::string jsonl((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    EXPECT_NE(jsonl.find("{\"type\":\"seed_start\",\"seed\":" +
+                         std::to_string(seed) + "}"),
+              std::string::npos)
+        << path;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(EsvVerifyCliTest, DistributedCampaignMatchesInProcessOutput) {
+  // esv-verify resolves esv-worker as its own sibling, so --workers works
+  // out of the box in the build tree. Deterministic outputs (summary,
+  // metrics file) must be byte-identical to the in-process runner.
+  const std::string m0 = ::testing::TempDir() + "/dist_m0.json";
+  const std::string m2 = ::testing::TempDir() + "/dist_m2.json";
+  const std::string base = sample_args() + " --campaign=1..6 --quiet";
+  const RunResult in_process = run_cli(base + " --metrics=" + m0);
+  const RunResult two = run_cli(base + " --workers=2 --metrics=" + m2);
+  EXPECT_EQ(in_process.exit_code, 0) << in_process.output;
+  EXPECT_EQ(two.exit_code, 0) << two.output;
+  EXPECT_EQ(in_process.output, two.output);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string metrics = slurp(m0);
+  EXPECT_FALSE(metrics.empty());
+  EXPECT_EQ(metrics, slurp(m2));
+}
+
 TEST(EsvVerifyCliTest, CampaignVerdictTableIdenticalAcrossJobs) {
   // The wall/seeds-per-second line is timing; --quiet prints the
   // deterministic summary only.

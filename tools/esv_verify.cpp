@@ -20,11 +20,15 @@
 //   multi-seed sweep with deterministic aggregation:
 //     --campaign=LO..HI    verify every seed in [LO, HI] (inclusive)
 //     --jobs=N             campaign worker threads (default 1)
+//     --workers=N          out-of-process worker shards (docs/DISTRIBUTED.md);
+//                          total parallelism is workers x jobs
 //     --report=FILE        write the JSON campaign report to FILE
+//     --trace-dir=DIR      write each seed's JSONL trace to DIR
 //     --seed-timeout=SECS  per-seed wall-clock watchdog (default off)
 //     --seed-retries=N     retries for infrastructure errors (default 0)
 //   In campaign mode --metrics writes the merged per-seed metrics (byte-
-//   identical for any --jobs); --vcd and --trace are single-run only.
+//   identical for any --jobs and --workers); --vcd and --trace are
+//   single-run only, --workers and --trace-dir campaign-only.
 //
 // Exit code: 0 when no property is violated, 1 on violation (in campaign
 // mode: any violated or errored seed), 2 on usage or input errors, 3 when
@@ -43,6 +47,7 @@
 
 #include "campaign/campaign.hpp"
 #include "cpu/codegen.hpp"
+#include "dist/broker.hpp"
 #include "cpu/cpu.hpp"
 #include "esw/esw_model.hpp"
 #include "fault/fault_engine.hpp"
@@ -75,7 +80,9 @@ struct Options {
   // Campaign mode.
   std::optional<std::pair<std::uint64_t, std::uint64_t>> campaign;
   unsigned jobs = 1;
+  unsigned workers = 0;  // 0 = in-process campaign
   std::string report_path;
+  std::string trace_dir;
   double seed_timeout = 0.0;
   unsigned seed_retries = 0;
 };
@@ -147,6 +154,15 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
         return false;
       }
       options.jobs = static_cast<unsigned>(jobs);
+    } else if (value_of("--workers=", value)) {
+      std::uint64_t workers = 0;
+      if (!parse_u64(value, workers) || workers == 0) {
+        error = "--workers must be a positive integer";
+        return false;
+      }
+      options.workers = static_cast<unsigned>(workers);
+    } else if (value_of("--trace-dir=", value)) {
+      options.trace_dir = value;
     } else if (value_of("--report=", value)) {
       options.report_path = value;
     } else if (value_of("--faults=", value)) {
@@ -199,6 +215,14 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
     error = "--trace is not available in campaign mode";
     return false;
   }
+  if (!options.campaign && !options.trace_dir.empty()) {
+    error = "--trace-dir is only available in campaign mode";
+    return false;
+  }
+  if (!options.campaign && options.workers != 0) {
+    error = "--workers is only available in campaign mode";
+    return false;
+  }
   options.program_path = positional[0];
   options.spec_path = positional[1];
   return true;
@@ -241,6 +265,8 @@ int main(int argc, char** argv) {
       }
       config.seed_timeout_seconds = options.seed_timeout;
       config.seed_retries = options.seed_retries;
+      config.trace_dir = options.trace_dir;
+      config.workers = options.workers;
       // --report always carries the metrics block, so a report request is
       // enough to turn collection on.
       config.collect_metrics =
@@ -256,7 +282,9 @@ int main(int argc, char** argv) {
         }
       }
 
-      const campaign::CampaignReport report = campaign::run(config);
+      const campaign::CampaignReport report =
+          options.workers != 0 ? dist::run_distributed(config)
+                               : campaign::run(config);
       std::cout << (options.quiet ? report.summary() : report.verdict_table());
       if (!options.report_path.empty()) {
         std::ofstream out(options.report_path);
@@ -280,8 +308,17 @@ int main(int argc, char** argv) {
         std::ostringstream timing;
         timing << std::fixed << std::setprecision(2);
         timing << "wall " << report.wall_seconds << " s, "
-               << report.seeds_per_second() << " seeds/sec (" << report.jobs
-               << (report.jobs == 1 ? " worker)" : " workers)") << "\n";
+               << report.seeds_per_second() << " seeds/sec (";
+        if (report.distributed) {
+          timing << report.workers
+                 << (report.workers == 1 ? " proc x " : " procs x ")
+                 << report.jobs
+                 << (report.jobs == 1 ? " thread)" : " threads)");
+        } else {
+          timing << report.jobs
+                 << (report.jobs == 1 ? " worker)" : " workers)");
+        }
+        timing << "\n";
         std::cout << timing.str();
       }
       return (report.any_violated() || report.error_seeds != 0) ? 1 : 0;

@@ -1,0 +1,6 @@
+// esv-worker: out-of-process campaign shard executor, spawned by the
+// distributed campaign broker (esv-verify --campaign ... --workers=N).
+// Not meant to be run by hand; see docs/DISTRIBUTED.md.
+#include "dist/worker.hpp"
+
+int main(int argc, char** argv) { return esv::dist::worker_main(argc, argv); }
