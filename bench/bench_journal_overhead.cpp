@@ -1,0 +1,182 @@
+// Checkpoint-journal overhead: what the write-ahead journal costs a campaign
+// under each fsync policy, plus the raw per-record append and the recovery
+// scan (docs/JOURNAL.md).
+//
+// The trade the policies make: `record` buys per-seed durability with one
+// fsync per record, `batch` (the default) amortizes the fsync over
+// kBatchSyncInterval records, `none` leaves durability to the page cache.
+// The journal only has to keep up with seed *completion* — a seed costs
+// milliseconds of simulation, so even the record policy should be noise at
+// the campaign level; these benches put numbers on that claim.
+//
+// Micro level: JournalWriter::append per policy and recover() over a large
+// journal. Macro level: a full campaign seed sweep with the journal off /
+// batch / record.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "journal/journal.hpp"
+
+namespace {
+
+using namespace esv;
+
+const char* kProgram = R"(
+enum { LED_OFF = 0, LED_ON = 1 };
+int led;
+int ticks_on;
+int cycles;
+void update(int enable) {
+  if (enable == 1) {
+    if (led == LED_OFF) { led = LED_ON; } else { led = LED_OFF; }
+  } else {
+    led = LED_OFF;
+  }
+  if (led == LED_ON) { ticks_on = ticks_on + 1; }
+}
+void main(void) {
+  led = LED_OFF;
+  while (cycles < 2000) {
+    int enable = __in(enable);
+    update(enable);
+    cycles = cycles + 1;
+  }
+}
+)";
+
+const char* kSpec = R"(
+input enable 0 1
+prop led_on   = led == LED_ON
+prop led_off  = led == LED_OFF
+prop finished = cycles >= 2000
+check legal: G (led_on || led_off)
+check terminates: F finished
+)";
+
+campaign::CampaignConfig blinker_config() {
+  campaign::CampaignConfig config;
+  config.program_source = kProgram;
+  config.spec_text = kSpec;
+  config.seed_lo = 1;
+  config.seed_hi = 8;
+  config.collect_metrics = true;
+  return config;
+}
+
+std::string bench_path(const char* stem) {
+  return "/tmp/esv_bench_journal_" + std::to_string(::getpid()) + "_" + stem +
+         ".bin";
+}
+
+/// A realistic finished-seed record: two properties, coverage counts, and a
+/// metrics snapshot, like a campaign seed produces.
+campaign::SeedResult sample_result(std::uint64_t seed) {
+  campaign::SeedResult result;
+  result.seed = seed;
+  result.properties.resize(2);
+  result.properties[0].verdict = temporal::Verdict::kValidated;
+  result.properties[1].verdict = temporal::Verdict::kValidated;
+  result.steps = 2000;
+  result.statements = 26000;
+  result.draws = 2000;
+  result.finished = true;
+  result.prop_true_counts = {1000, 1000};
+  result.metrics.counters["esw.statements"] = 26000;
+  result.metrics.counters["sctc.steps"] = 2000;
+  return result;
+}
+
+void run_append(benchmark::State& state, journal::SyncPolicy sync) {
+  const std::string path = bench_path("append");
+  const campaign::CampaignConfig config = blinker_config();
+  std::uint64_t seed = 0;
+  journal::JournalWriter writer(path, config, sync);
+  for (auto _ : state) {
+    writer.append(sample_result(++seed));
+  }
+  writer.close();
+  state.SetItemsProcessed(static_cast<int64_t>(seed));
+  std::remove(path.c_str());
+}
+
+void BM_AppendSyncRecord(benchmark::State& state) {
+  run_append(state, journal::SyncPolicy::kRecord);
+}
+BENCHMARK(BM_AppendSyncRecord);
+
+void BM_AppendSyncBatch(benchmark::State& state) {
+  run_append(state, journal::SyncPolicy::kBatch);
+}
+BENCHMARK(BM_AppendSyncBatch);
+
+void BM_AppendSyncNone(benchmark::State& state) {
+  run_append(state, journal::SyncPolicy::kNone);
+}
+BENCHMARK(BM_AppendSyncNone);
+
+// Recovery scan over a 10k-record journal: the --resume startup cost.
+void BM_RecoverTenThousandRecords(benchmark::State& state) {
+  const std::string path = bench_path("recover");
+  const campaign::CampaignConfig config = blinker_config();
+  {
+    journal::JournalWriter writer(path, config, journal::SyncPolicy::kNone);
+    for (std::uint64_t seed = 1; seed <= 10'000; ++seed) {
+      writer.append(sample_result(seed));
+    }
+    writer.close();
+  }
+  for (auto _ : state) {
+    const journal::RecoveredJournal recovered = journal::recover(path);
+    benchmark::DoNotOptimize(recovered.results.size());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_RecoverTenThousandRecords)->Unit(benchmark::kMillisecond);
+
+// End-to-end: the blinker campaign with the journal off / batch / record.
+// The off / record delta is the worst-case price of crash safety.
+void run_campaign(benchmark::State& state, bool journaled,
+                  journal::SyncPolicy sync) {
+  const std::string path = bench_path("campaign");
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    campaign::CampaignConfig config = blinker_config();
+    journal::JournalWriter writer(path, config, sync);
+    if (journaled) {
+      config.on_result = [&](const campaign::SeedResult& result) {
+        writer.append(result);
+      };
+    }
+    const campaign::CampaignReport report = campaign::run(config);
+    writer.close();
+    steps += report.total_steps;
+    benchmark::DoNotOptimize(report.total_steps);
+  }
+  state.counters["steps_per_s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+  std::remove(path.c_str());
+}
+
+void BM_CampaignJournalOff(benchmark::State& state) {
+  run_campaign(state, /*journaled=*/false, journal::SyncPolicy::kNone);
+}
+BENCHMARK(BM_CampaignJournalOff)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignJournalBatch(benchmark::State& state) {
+  run_campaign(state, /*journaled=*/true, journal::SyncPolicy::kBatch);
+}
+BENCHMARK(BM_CampaignJournalBatch)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignJournalRecord(benchmark::State& state) {
+  run_campaign(state, /*journaled=*/true, journal::SyncPolicy::kRecord);
+}
+BENCHMARK(BM_CampaignJournalRecord)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -25,6 +25,20 @@ CampaignReport run(const CampaignConfig& config) {
       std::min<std::uint64_t>(std::max(1u, config.jobs), count));
   report.jobs = jobs;
 
+  // Seeds recovered from a checkpoint journal fill their slots up front and
+  // are never re-run (and never re-journaled): results are pure functions of
+  // (config, seed), so a recovered record is as good as a fresh computation.
+  std::vector<char> done(count, 0);
+  for (const SeedResult& recovered : config.resume_results) {
+    if (recovered.seed < config.seed_lo || recovered.seed > config.seed_hi) {
+      continue;
+    }
+    const std::uint64_t index = recovered.seed - config.seed_lo;
+    if (done[index]) continue;
+    report.seeds[index] = recovered;
+    done[index] = 1;
+  }
+
   std::atomic<std::uint64_t> cursor{0};
 
   const auto worker = [&] {
@@ -33,7 +47,9 @@ CampaignReport run(const CampaignConfig& config) {
       const std::uint64_t index =
           cursor.fetch_add(1, std::memory_order_relaxed);
       if (index >= count) break;
+      if (done[index]) continue;
       report.seeds[index] = runner.run_seed(config.seed_lo + index);
+      if (config.on_result) config.on_result(report.seeds[index]);
     }
   };
 

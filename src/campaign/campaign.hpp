@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +28,8 @@
 #include "temporal/monitor.hpp"
 
 namespace esv::campaign {
+
+struct SeedResult;
 
 struct CampaignConfig {
   std::string program_source;  // mini-C source text
@@ -82,6 +85,25 @@ struct CampaignConfig {
   /// a fault of the software under test, not a timeout). The last attempt's
   /// result is kept; SeedResult::attempts records how many ran.
   unsigned seed_retries = 0;
+  /// Per-seed address-space ceiling in MiB, enforced by esv-worker via
+  /// RLIMIT_AS around seed execution (distributed runs only; the in-process
+  /// runner ignores it because a process-wide limit would also cap the
+  /// orchestrator). A seed past the ceiling records a structured "sut"
+  /// error capture instead of killing the whole shard. 0 disables.
+  std::uint64_t seed_mem_limit_mb = 0;
+
+  // --- checkpointing (docs/JOURNAL.md) -----------------------------------
+  // Neither field crosses the wire: the journal lives with the orchestrator.
+  /// When set, invoked once per freshly computed SeedResult, after the seed
+  /// finishes and before the campaign completes — the write-ahead journal's
+  /// hook. In-process runs call it from worker threads (callee serializes);
+  /// the broker calls it from its event loop before acking the RESULT.
+  /// Never called for resume_results. Must not throw.
+  std::function<void(const SeedResult&)> on_result;
+  /// Seeds already completed by a previous interrupted run (recovered from
+  /// a journal). Slots for these seeds are pre-filled and skipped; results
+  /// whose seed falls outside [seed_lo, seed_hi] are ignored.
+  std::vector<SeedResult> resume_results;
 };
 
 /// Per-property outcome of one seed.

@@ -197,6 +197,14 @@ std::string CampaignReport::to_json(bool include_timing) const {
         out << ", \"fault_plan_digest\": \""
             << json_escape(seed.fault_plan_digest) << "\"";
       }
+      if (include_timing) {
+        // How long the failing attempt ran before it died — the number that
+        // makes --seed-timeout / --seed-retries tuning data-driven. Wall
+        // clock, hence timing-gated like every other nondeterministic field.
+        out << ", \"error_wall_ms\": " << std::fixed << std::setprecision(3)
+            << seed.wall_ms;
+        out.unsetf(std::ios_base::floatfield);
+      }
     }
     if (!seed.witness.empty()) {
       out << ", \"witness\": \"" << json_escape(seed.witness) << "\"";

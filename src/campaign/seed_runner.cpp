@@ -3,6 +3,7 @@
 #include <chrono>
 #include <exception>
 #include <filesystem>
+#include <new>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -46,6 +47,28 @@ std::string watchdog_message(double timeout_seconds) {
   out << "watchdog: seed exceeded the " << timeout_seconds
       << "s wall-clock budget";
   return out.str();
+}
+
+std::string mem_ceiling_message(std::uint64_t limit_mb) {
+  // Deterministic for the same reason: the configured ceiling, never the
+  // failed allocation's size or address.
+  return "memory ceiling: allocation failed under the " +
+         std::to_string(limit_mb) + " MiB per-seed limit";
+}
+
+/// bad_alloc taxonomy: under a configured per-seed ceiling (esv-worker's
+/// RLIMIT_AS guard) an exhausted address space is a *deterministic* property
+/// of the software under test — retrying it would reproduce it — so it is
+/// classified "sut". Without a ceiling it is genuine host memory pressure,
+/// i.e. infrastructure, and eligible for the bounded retry policy.
+void classify_bad_alloc(const CampaignConfig& config, SeedResult& result) {
+  if (config.seed_mem_limit_mb != 0) {
+    result.error = mem_ceiling_message(config.seed_mem_limit_mb);
+    result.error_kind = "sut";
+  } else {
+    result.error = "allocation failed (std::bad_alloc)";
+    result.error_kind = "infrastructure";
+  }
 }
 
 /// Immutable per-worker verification stack. Each worker compiles its own
@@ -253,6 +276,8 @@ SeedResult SeedRunner::run_attempt(std::uint64_t seed) {
   } catch (const mem::MemoryFault& e) {
     result.error = e.what();
     result.error_kind = "sut";
+  } catch (const std::bad_alloc&) {
+    classify_bad_alloc(config, result);
   } catch (const std::exception& e) {
     // Anything else escaping the verification stack is an infrastructure
     // error — eligible for the bounded retry policy in run_seed().
@@ -327,8 +352,16 @@ SeedResult SeedRunner::run_seed(std::uint64_t seed) {
     // the software under test is a result, and a timeout would only burn
     // another full timeout's worth of wall clock.
     for (unsigned attempt = 0;; ++attempt) {
+      // Timed out here too so attempts that die before run_attempt's own
+      // stamp (a bad_alloc while building the address space, say) still
+      // carry a duration into the report's error capture.
+      const auto attempt_started = std::chrono::steady_clock::now();
       try {
         result = run_attempt(seed);
+      } catch (const std::bad_alloc&) {
+        result = SeedResult{};
+        result.seed = seed;
+        classify_bad_alloc(config_, result);
       } catch (const std::exception& e) {
         result = SeedResult{};
         result.seed = seed;
@@ -339,6 +372,11 @@ SeedResult SeedRunner::run_seed(std::uint64_t seed) {
         result.seed = seed;
         result.error = "unknown exception";
         result.error_kind = "infrastructure";
+      }
+      if (result.wall_ms == 0.0) {
+        result.wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - attempt_started)
+                             .count();
       }
       result.attempts = attempt + 1;
       if (result.error_kind != "infrastructure" ||

@@ -63,6 +63,10 @@ class Broker {
       : config_(config),
         options_(options),
         setup_(campaign::prepare_campaign(config)) {
+    // MSG_NOSIGNAL only covers send(); a worker vanishing between poll() and
+    // any other write path would still raise SIGPIPE and kill the broker.
+    // Ignoring it process-wide turns every such race into a clean WireError.
+    std::signal(SIGPIPE, SIG_IGN);
     count_ = config.seed_hi - config.seed_lo + 1;
     jobs_ = config.jobs < 1 ? 1 : config.jobs;
     std::uint64_t workers = config.workers < 1 ? 1 : config.workers;
@@ -84,15 +88,32 @@ class Broker {
 
     // What crosses the wire: trace_dir stays broker-side (files are written
     // by finalize_report after the merge), so workers just capture traces.
+    // Checkpointing stays broker-side too — workers always compute fresh.
     wire_config_ = config;
     wire_config_.capture_traces =
         config.capture_traces || !config.trace_dir.empty();
+    wire_config_.on_result = nullptr;
+    wire_config_.resume_results.clear();
 
     report_ = campaign::make_report_skeleton(config, setup_);
     report_.jobs = jobs_;
     filled_.assign(count_, 0);
     crash_count_.assign(count_, 0);
-    for (std::uint64_t i = 0; i < count_; ++i) pending_.push_back(i);
+    // Seeds recovered from a checkpoint journal fill their slots up front;
+    // they are never dispatched and never re-journaled.
+    for (const campaign::SeedResult& recovered : config.resume_results) {
+      if (recovered.seed < config.seed_lo || recovered.seed > config.seed_hi) {
+        continue;
+      }
+      const std::uint64_t index = recovered.seed - config.seed_lo;
+      if (filled_[index]) continue;
+      report_.seeds[index] = recovered;
+      filled_[index] = 1;
+      ++filled_count_;
+    }
+    for (std::uint64_t i = 0; i < count_; ++i) {
+      if (!filled_[i]) pending_.push_back(i);
+    }
 
     open_socket();
     slots_.resize(workers_);
@@ -103,8 +124,11 @@ class Broker {
 
   campaign::CampaignReport run() {
     Clock::time_point start = Clock::now();
-    for (WorkerSlot& slot : slots_) spawn(slot);
-    event_loop();
+    // A fully resumed campaign has nothing left to dispatch: don't spawn.
+    if (filled_count_ < count_) {
+      for (WorkerSlot& slot : slots_) spawn(slot);
+      event_loop();
+    }
     shutdown_workers();
 
     report_.distributed = true;
@@ -391,6 +415,12 @@ class Broker {
       metrics_.counter("dist.duplicate_results").add();
       return;
     }
+    // Write-ahead ordering: the journal record hits the log before the seed
+    // is acknowledged as filled, so a broker killed between the two re-runs
+    // the seed instead of losing it. Broker-synthesized abandonment results
+    // are deliberately NOT journaled — they record a transient infrastructure
+    // failure, and a resumed run should retry those seeds, not replay them.
+    if (config_.on_result) config_.on_result(result);
     report_.seeds[index] = std::move(result);
     filled_[index] = 1;
     ++filled_count_;

@@ -484,6 +484,10 @@ std::string config_to_json(const campaign::CampaignConfig& config) {
   out += ",\"seed_timeout_seconds\":" + double_text(config.seed_timeout_seconds);
   out += ",\"seed_retries\":";
   append_u64(out, config.seed_retries);
+  out += ",\"seed_mem_limit_mb\":";
+  append_u64(out, config.seed_mem_limit_mb);
+  // on_result and resume_results stay host-side by design: journaling and
+  // resume are orchestrator concerns, workers only ever compute fresh seeds.
   out += "}";
   return out;
 }
@@ -507,6 +511,7 @@ campaign::CampaignConfig config_from_json(const Json& json) {
   config.capture_traces = json.bool_or("capture_traces", false);
   config.seed_timeout_seconds = json.double_or("seed_timeout_seconds", 0.0);
   config.seed_retries = static_cast<unsigned>(json.u64_or("seed_retries", 0));
+  config.seed_mem_limit_mb = json.u64_or("seed_mem_limit_mb", 0);
   return config;
 }
 

@@ -1,5 +1,6 @@
 #include "dist/worker.hpp"
 
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -72,8 +73,103 @@ void maybe_test_crash(const WorkerState& state, std::uint64_t seed) {
   ::raise(SIGKILL);
 }
 
+// ASan maps terabytes of shadow memory, which makes an address-space ceiling
+// meaningless; the guard compiles to a no-op there.
+#if defined(__SANITIZE_ADDRESS__)
+#define ESV_WORKER_NO_AS_CEILING 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ESV_WORKER_NO_AS_CEILING 1
+#endif
+#endif
+
+/// Per-seed address-space ceiling (--seed-mem-limit). RLIMIT_AS is
+/// process-wide, so the ceiling is expressed as *headroom above the worker's
+/// baseline* VM size — measured from /proc/self/statm the first time a seed
+/// arms the guard — and is held while any compute thread is inside a seed: a
+/// refcount sets the soft limit on the first entry and restores the original
+/// on the last exit. A seed that outgrows the ceiling gets std::bad_alloc
+/// from the verification stack's allocations, which the seed runner
+/// classifies as a structured "sut" error capture; the shard itself (and
+/// every other seed on it) survives. Best-effort: a failing setrlimit
+/// disables the guard rather than the worker.
+class SeedMemCeiling {
+ public:
+  explicit SeedMemCeiling(std::uint64_t limit_mb) : limit_mb_(limit_mb) {}
+
+  void enter() {
+#ifndef ESV_WORKER_NO_AS_CEILING
+    if (limit_mb_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (++active_ != 1 || broken_) return;
+    rlimit current{};
+    if (::getrlimit(RLIMIT_AS, &current) != 0) {
+      broken_ = true;
+      return;
+    }
+    saved_soft_ = current.rlim_cur;
+    rlim_t ceiling = baseline_bytes() + (limit_mb_ << 20);
+    if (current.rlim_max != RLIM_INFINITY && ceiling > current.rlim_max) {
+      ceiling = current.rlim_max;
+    }
+    rlimit wanted = current;
+    wanted.rlim_cur = ceiling;
+    if (::setrlimit(RLIMIT_AS, &wanted) != 0) broken_ = true;
+#endif
+  }
+
+  void leave() {
+#ifndef ESV_WORKER_NO_AS_CEILING
+    if (limit_mb_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--active_ != 0 || broken_) return;
+    rlimit current{};
+    if (::getrlimit(RLIMIT_AS, &current) == 0) {
+      current.rlim_cur = saved_soft_;
+      ::setrlimit(RLIMIT_AS, &current);
+    }
+#endif
+  }
+
+ private:
+#ifndef ESV_WORKER_NO_AS_CEILING
+  rlim_t baseline_bytes() {
+    if (baseline_ != 0) return baseline_;
+    std::uint64_t pages = 0;
+    if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+      if (std::fscanf(statm, "%lu", &pages) != 1) pages = 0;
+      std::fclose(statm);
+    }
+    const long page = ::sysconf(_SC_PAGESIZE);
+    baseline_ = pages != 0 && page > 0
+                    ? static_cast<rlim_t>(pages) * static_cast<rlim_t>(page)
+                    : (static_cast<rlim_t>(256) << 20);  // conservative guess
+    return baseline_;
+  }
+
+  std::mutex mutex_;
+  unsigned active_ = 0;
+  bool broken_ = false;
+  rlim_t saved_soft_ = RLIM_INFINITY;
+  rlim_t baseline_ = 0;
+#endif
+  const std::uint64_t limit_mb_;
+};
+
+class SeedMemCeilingScope {
+ public:
+  explicit SeedMemCeilingScope(SeedMemCeiling& ceiling) : ceiling_(ceiling) {
+    ceiling_.enter();
+  }
+  ~SeedMemCeilingScope() { ceiling_.leave(); }
+
+ private:
+  SeedMemCeiling& ceiling_;
+};
+
 void compute_loop(WorkerState& state, const campaign::CampaignConfig& config,
-                  const campaign::CampaignSetup& setup) {
+                  const campaign::CampaignSetup& setup,
+                  SeedMemCeiling& mem_ceiling) {
   campaign::SeedRunner runner(config, setup);
   obs::Counter& seeds_run = state.metrics.counter("dist.worker.seeds_run");
   for (;;) {
@@ -88,7 +184,11 @@ void compute_loop(WorkerState& state, const campaign::CampaignConfig& config,
     }
     state.busy.fetch_add(1, std::memory_order_relaxed);
     maybe_test_crash(state, seed);
-    campaign::SeedResult result = runner.run_seed(seed);
+    campaign::SeedResult result;
+    {
+      SeedMemCeilingScope ceiling(mem_ceiling);
+      result = runner.run_seed(seed);
+    }
     seeds_run.add();
     try {
       send_payload(state, make_result(result));
@@ -196,11 +296,13 @@ int worker_main(int argc, char** argv) {
   }
 
   unsigned jobs = config.jobs < 1 ? 1 : config.jobs;
+  SeedMemCeiling mem_ceiling(config.seed_mem_limit_mb);
   std::vector<std::thread> compute;
   compute.reserve(jobs);
   for (unsigned i = 0; i < jobs; ++i) {
-    compute.emplace_back(
-        [&state, &config, &setup] { compute_loop(state, config, setup); });
+    compute.emplace_back([&state, &config, &setup, &mem_ceiling] {
+      compute_loop(state, config, setup, mem_ceiling);
+    });
   }
   std::thread heartbeat([&state] { heartbeat_loop(state); });
 

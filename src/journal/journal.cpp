@@ -1,0 +1,316 @@
+#include "journal/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+#include "dist/wire.hpp"
+
+namespace esv::journal {
+
+// --- CRC-32 --------------------------------------------------------------
+
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32Table& crc_table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  const Crc32Table& table = crc_table();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// --- configuration digest ------------------------------------------------
+
+namespace {
+
+// Same FNV-1a 64 as FaultPlan::digest(): cheap, stable across platforms, and
+// already the repo's fingerprint idiom.
+class Fnv1a {
+ public:
+  void feed(std::string_view text) {
+    for (const char c : text) feed_byte(static_cast<unsigned char>(c));
+    feed_byte(0);  // field separator so {"a","bc"} != {"ab","c"}
+  }
+  void feed(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      feed_byte(static_cast<unsigned char>(value >> (8 * i)));
+    }
+  }
+  std::string hex() const {
+    std::ostringstream out;
+    out << std::hex << std::setw(16) << std::setfill('0') << hash_;
+    return out.str();
+  }
+
+ private:
+  void feed_byte(unsigned char byte) {
+    hash_ ^= byte;
+    hash_ *= 1099511628211ull;
+  }
+  std::uint64_t hash_ = 1469598103934665603ull;
+};
+
+}  // namespace
+
+std::string config_digest(const campaign::CampaignConfig& config) {
+  Fnv1a digest;
+  digest.feed(config.program_source);
+  digest.feed(config.spec_text);
+  digest.feed(static_cast<std::uint64_t>(config.approach));
+  digest.feed(
+      static_cast<std::uint64_t>(config.mode == sctc::MonitorMode::kProgression
+                                     ? 0
+                                     : 1));
+  digest.feed(config.max_steps);
+  digest.feed(config.seed_lo);
+  digest.feed(config.seed_hi);
+  digest.feed(static_cast<std::uint64_t>(config.witness_depth));
+  digest.feed(config.fault_plan_text);
+  digest.feed(static_cast<std::uint64_t>(config.fault_log_limit));
+  digest.feed(static_cast<std::uint64_t>(config.collect_metrics ? 1 : 0));
+  // trace_dir implies capture_traces inside the runner, so hash the
+  // *effective* capture flag; the directory path itself is deployment shape.
+  const bool captures = config.capture_traces || !config.trace_dir.empty();
+  digest.feed(static_cast<std::uint64_t>(captures ? 1 : 0));
+  // The watchdog and retry budget can change which error a seed records.
+  std::ostringstream timeout_text;
+  timeout_text.precision(17);
+  timeout_text << config.seed_timeout_seconds;
+  digest.feed(timeout_text.str());
+  digest.feed(static_cast<std::uint64_t>(config.seed_retries));
+  digest.feed(config.seed_mem_limit_mb);
+  return digest.hex();
+}
+
+// --- record framing ------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kRecordHeaderBytes = 8;  // u32 length + u32 crc
+
+void put_u32_le(std::string& out, std::uint32_t value) {
+  out += static_cast<char>(value & 0xFF);
+  out += static_cast<char>((value >> 8) & 0xFF);
+  out += static_cast<char>((value >> 16) & 0xFF);
+  out += static_cast<char>((value >> 24) & 0xFF);
+}
+
+std::uint32_t get_u32_le(const char* bytes) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[2]))
+             << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[3]))
+             << 24;
+}
+
+std::string frame_record(const std::string& payload) {
+  std::string record;
+  record.reserve(kRecordHeaderBytes + payload.size() + 1);
+  put_u32_le(record, static_cast<std::uint32_t>(payload.size()));
+  put_u32_le(record, crc32(payload.data(), payload.size()));
+  record += payload;
+  record += '\n';
+  return record;
+}
+
+std::string header_payload(const campaign::CampaignConfig& config) {
+  std::string out = "{\"type\":\"header\",\"version\":";
+  out += std::to_string(kJournalVersion);
+  out += ",\"config_digest\":" + dist::json_string(config_digest(config));
+  out += ",\"seed_lo\":" + std::to_string(config.seed_lo);
+  out += ",\"seed_hi\":" + std::to_string(config.seed_hi);
+  out += "}";
+  return out;
+}
+
+[[noreturn]] void io_error(const std::string& what, const std::string& path) {
+  throw JournalError("journal: " + what + " " + path + ": " +
+                     std::strerror(errno));
+}
+
+}  // namespace
+
+// --- JournalWriter -------------------------------------------------------
+
+JournalWriter::JournalWriter(const std::string& path,
+                             const campaign::CampaignConfig& config,
+                             SyncPolicy sync)
+    : path_(path), sync_(sync) {
+  open_and_prepare(path, config, 0);
+}
+
+JournalWriter::JournalWriter(const std::string& path,
+                             const campaign::CampaignConfig& config,
+                             SyncPolicy sync, std::uint64_t keep_bytes)
+    : path_(path), sync_(sync) {
+  open_and_prepare(path, config, keep_bytes);
+}
+
+JournalWriter::~JournalWriter() {
+  try {
+    close();
+  } catch (const JournalError&) {
+    // Destructor cleanup must not throw; an explicit close() reports errors.
+  }
+}
+
+void JournalWriter::open_and_prepare(const std::string& path,
+                                     const campaign::CampaignConfig& config,
+                                     std::uint64_t keep_bytes) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) io_error("cannot open", path);
+  if (::ftruncate(fd_, static_cast<off_t>(keep_bytes)) != 0) {
+    io_error("cannot truncate", path);
+  }
+  if (keep_bytes == 0) {
+    write_record(header_payload(config));
+  }
+}
+
+void JournalWriter::append(const campaign::SeedResult& result) {
+  std::string payload = "{\"type\":\"seed\",\"result\":";
+  payload += dist::seed_result_to_json(result);
+  payload += "}";
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_record(payload);
+}
+
+void JournalWriter::write_record(const std::string& payload) {
+  if (fd_ < 0) throw JournalError("journal: writer is closed: " + path_);
+  const std::string record = frame_record(payload);
+  // One write(2) per record: O_APPEND makes it atomic with respect to other
+  // writers of this fd, and a crash can tear at most the record in flight.
+  const char* data = record.data();
+  std::size_t left = record.size();
+  while (left != 0) {
+    const ssize_t wrote = ::write(fd_, data, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      io_error("write failed on", path_);
+    }
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  ++records_written_;
+  ++unsynced_records_;
+  if (sync_ == SyncPolicy::kRecord ||
+      (sync_ == SyncPolicy::kBatch && unsynced_records_ >= kBatchSyncInterval)) {
+    sync_now();
+  }
+}
+
+void JournalWriter::sync_now() {
+  if (::fsync(fd_) != 0) io_error("fsync failed on", path_);
+  unsynced_records_ = 0;
+}
+
+void JournalWriter::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  if (sync_ != SyncPolicy::kNone && unsynced_records_ != 0) sync_now();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+// --- recovery ------------------------------------------------------------
+
+RecoveredJournal recover(const std::string& path) {
+  RecoveredJournal recovered;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    // Missing file: a crash can precede the journal's creation (or its
+    // header reaching disk); there is simply nothing to resume.
+    return recovered;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) io_error("cannot read", path);
+  const std::string bytes = buffer.str();
+
+  std::set<std::uint64_t> seen_seeds;
+  std::size_t pos = 0;
+  bool expect_header = true;
+  while (pos < bytes.size()) {
+    // A record shorter than its framing, a CRC mismatch, a missing trailing
+    // newline, or an unparsable payload all mean the same thing here: the
+    // writer died mid-record (or the tail was otherwise damaged). Keep the
+    // prefix, drop the rest.
+    if (bytes.size() - pos < kRecordHeaderBytes) break;
+    const std::uint32_t length = get_u32_le(bytes.data() + pos);
+    const std::uint32_t expected_crc = get_u32_le(bytes.data() + pos + 4);
+    const std::size_t payload_at = pos + kRecordHeaderBytes;
+    if (bytes.size() - payload_at < static_cast<std::size_t>(length) + 1) break;
+    if (bytes[payload_at + length] != '\n') break;
+    const char* payload = bytes.data() + payload_at;
+    if (crc32(payload, length) != expected_crc) break;
+
+    campaign::SeedResult result;
+    bool is_seed = false;
+    try {
+      const dist::Json json = dist::Json::parse({payload, length});
+      const std::string type = json.string_or("type", "");
+      if (expect_header) {
+        if (type != "header" ||
+            json.at("version").as_u64() != kJournalVersion) {
+          break;
+        }
+        recovered.config_digest = json.at("config_digest").as_string();
+        recovered.seed_lo = json.at("seed_lo").as_u64();
+        recovered.seed_hi = json.at("seed_hi").as_u64();
+      } else if (type == "seed") {
+        result = dist::seed_result_from_json(json.at("result"));
+        is_seed = true;
+      } else {
+        break;  // unknown record type: treat like corruption, keep the prefix
+      }
+    } catch (const dist::WireError&) {
+      break;
+    }
+
+    if (expect_header) {
+      recovered.header_valid = true;
+      expect_header = false;
+    } else if (is_seed && seen_seeds.insert(result.seed).second) {
+      recovered.results.push_back(std::move(result));
+    }
+    pos = payload_at + length + 1;
+    recovered.valid_bytes = pos;
+  }
+
+  recovered.tail_dropped = recovered.valid_bytes != bytes.size();
+  return recovered;
+}
+
+}  // namespace esv::journal

@@ -1,0 +1,152 @@
+// Crash-safe campaign checkpointing (docs/JOURNAL.md).
+//
+// A campaign journal is a durable write-ahead log of finished seeds: one
+// CRC32-checksummed, length-prefixed JSON record per completed SeedResult,
+// preceded by a header record that pins the journal to the exact campaign
+// configuration that produced it. If the orchestrating esv-verify process is
+// killed mid-campaign — SIGKILL, OOM, power loss — a re-run with `--resume`
+// replays the journal, skips every seed whose record survived, re-runs the
+// rest, and produces a final report byte-identical to an uninterrupted run.
+//
+// Record layout (little-endian, docs/JOURNAL.md):
+//
+//   +----------------+----------------+---------------------+------+
+//   | u32 length     | u32 CRC32      | payload (JSON text) | '\n' |
+//   +----------------+----------------+---------------------+------+
+//
+// The CRC covers the payload bytes only. The trailing newline keeps the file
+// greppable and doubles as a cheap framing check. Two payload types exist:
+//
+//   {"type":"header","version":1,"config_digest":"<16 hex>",
+//    "seed_lo":N,"seed_hi":N}          — first record of every journal
+//   {"type":"seed","result":{...}}     — one per finished seed, the lossless
+//                                        wire rendering of the SeedResult
+//
+// Recovery is prefix-based: the scan keeps every record up to the first
+// truncated or corrupt one and drops everything from there on. A torn tail
+// (the orchestrator died mid-write) therefore costs exactly the seeds whose
+// records were lost — they simply re-run. A journal whose header digest does
+// not match the resuming campaign's configuration is rejected by the caller
+// (exit 2 in esv-verify): resuming under a different config would splice
+// results from two different experiments into one report.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace esv::journal {
+
+/// Raised on journal I/O failures (open, write, fsync, truncate). Corruption
+/// found by the recovery scan is NOT an error — it is recovered from.
+class JournalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Standard CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected,
+/// init/final-xor 0xFFFFFFFF). crc32("123456789") == 0xCBF43926.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Stable 16-hex-digit FNV-1a digest over every configuration field that can
+/// change a deterministic result byte: program, spec, approach, mode, step
+/// budget, seed range, witness depth, fault plan + log limit, the metrics
+/// and trace-capture flags, the watchdog/retry knobs, and the per-seed
+/// memory ceiling. Deployment-shape fields (jobs, workers, worker_binary,
+/// trace_dir path, sync policy) are excluded — they never change results,
+/// so a journal written under --jobs=8 resumes cleanly under --workers=2.
+std::string config_digest(const campaign::CampaignConfig& config);
+
+/// How often the writer fsyncs (docs/JOURNAL.md discusses the trade-offs):
+///   kRecord  fsync after every record — a crash loses at most the record
+///            being written; slowest
+///   kBatch   fsync every kBatchSyncInterval records and on close — bounded
+///            loss, near-zero overhead (the default)
+///   kNone    never fsync — the OS page cache decides; a power loss can
+///            lose everything since the last writeback, a plain process
+///            kill loses nothing
+enum class SyncPolicy { kRecord, kBatch, kNone };
+
+constexpr unsigned kBatchSyncInterval = 32;
+
+constexpr std::uint64_t kJournalVersion = 1;
+
+/// Append-only journal writer. `append` is thread-safe: the campaign's
+/// worker threads and the broker's event loop both emit completion records
+/// through one serialized writer, each record written with a single write(2)
+/// so records never interleave.
+class JournalWriter {
+ public:
+  /// Starts a fresh journal at `path` (truncating any previous content) and
+  /// writes the header record for `config`.
+  JournalWriter(const std::string& path,
+                const campaign::CampaignConfig& config, SyncPolicy sync);
+  /// Resumes an existing journal: truncates the file to `keep_bytes` (the
+  /// valid prefix found by recover()) and appends after it. When keep_bytes
+  /// is 0 (empty or unrecoverable journal) a fresh header is written.
+  JournalWriter(const std::string& path,
+                const campaign::CampaignConfig& config, SyncPolicy sync,
+                std::uint64_t keep_bytes);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends one seed-completion record. Thread-safe. Throws JournalError
+  /// when the write or a policy-mandated fsync fails — a campaign that was
+  /// promised a journal must not silently run without one.
+  void append(const campaign::SeedResult& result);
+
+  /// Final flush + fsync (policy permitting) + close. Idempotent; also run
+  /// by the destructor, which swallows errors.
+  void close();
+
+  std::uint64_t records_written() const { return records_written_; }
+
+ private:
+  void open_and_prepare(const std::string& path,
+                        const campaign::CampaignConfig& config,
+                        std::uint64_t keep_bytes);
+  void write_record(const std::string& payload);
+  void sync_now();
+
+  std::mutex mutex_;
+  int fd_ = -1;
+  std::string path_;
+  SyncPolicy sync_ = SyncPolicy::kBatch;
+  unsigned unsynced_records_ = 0;
+  std::uint64_t records_written_ = 0;
+};
+
+/// Everything the recovery scan salvaged from a journal file.
+struct RecoveredJournal {
+  /// True when the file begins with a complete, well-formed header record.
+  /// False for a missing, empty, or torn-before-the-header file — all of
+  /// which mean "no progress to resume", never an error (a crash can land
+  /// before the header reaches disk).
+  bool header_valid = false;
+  std::string config_digest;
+  std::uint64_t seed_lo = 0;
+  std::uint64_t seed_hi = 0;
+  /// Completed seeds in journal order, de-duplicated (first record wins —
+  /// duplicates are deterministic re-computations anyway).
+  std::vector<campaign::SeedResult> results;
+  /// Byte length of the valid record prefix; the resume writer truncates
+  /// the file here before appending so a torn tail never corrupts the log.
+  std::uint64_t valid_bytes = 0;
+  /// True when the scan stopped at a truncated or corrupt record (the seeds
+  /// whose records were dropped simply re-run).
+  bool tail_dropped = false;
+};
+
+/// Scans `path` and returns every record that survives validation. Tolerant
+/// by design: a missing or empty file, a torn header, a truncated tail
+/// record, a CRC mismatch, or trailing garbage all yield the longest valid
+/// prefix instead of an error. Throws JournalError only when the file exists
+/// but cannot be read.
+RecoveredJournal recover(const std::string& path);
+
+}  // namespace esv::journal

@@ -23,12 +23,23 @@
 //     --workers=N          out-of-process worker shards (docs/DISTRIBUTED.md);
 //                          total parallelism is workers x jobs
 //     --report=FILE        write the JSON campaign report to FILE
+//     --report-timing=on|off  include the wall-clock fields in --report
+//                          (default on; off makes the file byte-identical
+//                          across runs, jobs, and workers counts)
 //     --trace-dir=DIR      write each seed's JSONL trace to DIR
 //     --seed-timeout=SECS  per-seed wall-clock watchdog (default off)
 //     --seed-retries=N     retries for infrastructure errors (default 0)
+//     --seed-mem-limit=MB  per-seed address-space ceiling, enforced by the
+//                          worker shards (requires --workers; docs/JOURNAL.md)
+//     --journal=FILE       write-ahead journal of finished seeds
+//                          (docs/JOURNAL.md)
+//     --journal-sync=record|batch|none   journal fsync policy (default batch)
+//     --resume             replay FILE, skip the seeds it already holds, and
+//                          re-run only the rest; the final report is byte-
+//                          identical to an uninterrupted run
 //   In campaign mode --metrics writes the merged per-seed metrics (byte-
 //   identical for any --jobs and --workers); --vcd and --trace are
-//   single-run only, --workers and --trace-dir campaign-only.
+//   single-run only, --workers/--trace-dir/--journal campaign-only.
 //
 // Exit code: 0 when no property is violated, 1 on violation (in campaign
 // mode: any violated or errored seed), 2 on usage or input errors, 3 when
@@ -40,12 +51,15 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <sstream>
 #include <string>
 
 #include "campaign/campaign.hpp"
+#include "journal/journal.hpp"
 #include "cpu/codegen.hpp"
 #include "dist/broker.hpp"
 #include "cpu/cpu.hpp"
@@ -82,9 +96,15 @@ struct Options {
   unsigned jobs = 1;
   unsigned workers = 0;  // 0 = in-process campaign
   std::string report_path;
+  bool report_timing = true;
   std::string trace_dir;
   double seed_timeout = 0.0;
   unsigned seed_retries = 0;
+  std::uint64_t seed_mem_limit = 0;  // MiB, 0 = off
+  std::string journal_path;
+  journal::SyncPolicy journal_sync = journal::SyncPolicy::kBatch;
+  bool journal_sync_given = false;
+  bool resume = false;
 };
 
 bool parse_u64(std::string_view text, std::uint64_t& out) {
@@ -165,6 +185,41 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
       options.trace_dir = value;
     } else if (value_of("--report=", value)) {
       options.report_path = value;
+    } else if (value_of("--report-timing=", value)) {
+      if (value == "on") {
+        options.report_timing = true;
+      } else if (value == "off") {
+        options.report_timing = false;
+      } else {
+        error = "--report-timing must be on or off";
+        return false;
+      }
+    } else if (value_of("--journal=", value)) {
+      if (value.empty()) {
+        error = "--journal expects a file path";
+        return false;
+      }
+      options.journal_path = value;
+    } else if (value_of("--journal-sync=", value)) {
+      if (value == "record") {
+        options.journal_sync = journal::SyncPolicy::kRecord;
+      } else if (value == "batch") {
+        options.journal_sync = journal::SyncPolicy::kBatch;
+      } else if (value == "none") {
+        options.journal_sync = journal::SyncPolicy::kNone;
+      } else {
+        error = "--journal-sync must be record, batch, or none";
+        return false;
+      }
+      options.journal_sync_given = true;
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (value_of("--seed-mem-limit=", value)) {
+      if (!parse_u64(value, number) || number == 0) {
+        error = "--seed-mem-limit must be a positive number of MiB";
+        return false;
+      }
+      options.seed_mem_limit = number;
     } else if (value_of("--faults=", value)) {
       options.faults_path = value;
     } else if (value_of("--seed-timeout=", value)) {
@@ -223,6 +278,24 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
     error = "--workers is only available in campaign mode";
     return false;
   }
+  if (!options.campaign && !options.journal_path.empty()) {
+    error = "--journal is only available in campaign mode";
+    return false;
+  }
+  if (options.journal_path.empty() && options.resume) {
+    error = "--resume requires --journal";
+    return false;
+  }
+  if (options.journal_path.empty() && options.journal_sync_given) {
+    error = "--journal-sync requires --journal";
+    return false;
+  }
+  if (options.seed_mem_limit != 0 && options.workers == 0) {
+    error =
+        "--seed-mem-limit requires --workers (the ceiling is enforced per "
+        "worker shard)";
+    return false;
+  }
   options.program_path = positional[0];
   options.spec_path = positional[1];
   return true;
@@ -265,6 +338,7 @@ int main(int argc, char** argv) {
       }
       config.seed_timeout_seconds = options.seed_timeout;
       config.seed_retries = options.seed_retries;
+      config.seed_mem_limit_mb = options.seed_mem_limit;
       config.trace_dir = options.trace_dir;
       config.workers = options.workers;
       // --report always carries the metrics block, so a report request is
@@ -282,16 +356,70 @@ int main(int argc, char** argv) {
         }
       }
 
+      // Write-ahead journal (docs/JOURNAL.md): every finished seed is
+      // appended before the campaign acknowledges it, so a killed run
+      // resumes from the journal instead of starting over.
+      std::unique_ptr<journal::JournalWriter> journal_writer;
+      std::mutex journal_error_mutex;
+      std::string journal_error;
+      if (!options.journal_path.empty()) {
+        if (options.resume) {
+          const journal::RecoveredJournal recovered =
+              journal::recover(options.journal_path);
+          if (recovered.header_valid &&
+              recovered.config_digest != journal::config_digest(config)) {
+            // Splicing results from a different configuration would produce
+            // a report that no single campaign ever computed.
+            throw std::runtime_error(
+                "--resume: journal " + options.journal_path +
+                " was written by a different campaign configuration "
+                "(journal digest " +
+                recovered.config_digest + ", this campaign " +
+                journal::config_digest(config) + ")");
+          }
+          config.resume_results = recovered.results;
+          if (!options.quiet) {
+            std::cout << "journal: resumed " << recovered.results.size()
+                      << " of " << (config.seed_hi - config.seed_lo + 1)
+                      << " seeds from " << options.journal_path;
+            if (recovered.tail_dropped) std::cout << " (corrupt tail dropped)";
+            std::cout << "\n";
+          }
+          journal_writer = std::make_unique<journal::JournalWriter>(
+              options.journal_path, config, options.journal_sync,
+              recovered.header_valid ? recovered.valid_bytes : 0);
+        } else {
+          journal_writer = std::make_unique<journal::JournalWriter>(
+              options.journal_path, config, options.journal_sync);
+        }
+        // Workers call this concurrently (the writer serializes) and must
+        // not see an exception; the first failure is surfaced after the run.
+        config.on_result = [&](const campaign::SeedResult& result) {
+          try {
+            journal_writer->append(result);
+          } catch (const journal::JournalError& e) {
+            std::lock_guard<std::mutex> lock(journal_error_mutex);
+            if (journal_error.empty()) journal_error = e.what();
+          }
+        };
+      }
+
       const campaign::CampaignReport report =
           options.workers != 0 ? dist::run_distributed(config)
                                : campaign::run(config);
+      if (journal_writer) journal_writer->close();
+      if (!journal_error.empty()) {
+        // The campaign finished, but its durability promise did not: treat a
+        // failed journal like any other unwritable output (exit 2).
+        throw std::runtime_error(journal_error);
+      }
       std::cout << (options.quiet ? report.summary() : report.verdict_table());
       if (!options.report_path.empty()) {
         std::ofstream out(options.report_path);
         if (!out) {
           throw std::runtime_error("cannot write " + options.report_path);
         }
-        out << report.to_json();
+        out << report.to_json(options.report_timing);
         if (!options.quiet) {
           std::cout << "report: " << options.report_path << "\n";
         }
