@@ -11,7 +11,7 @@ namespace esv::campaign {
 namespace {
 
 const char* mode_name(sctc::MonitorMode mode) {
-  return mode == sctc::MonitorMode::kProgression ? "progression" : "automaton";
+  return sctc::monitor_mode_name(mode);
 }
 
 char verdict_letter(temporal::Verdict v) {
@@ -268,9 +268,28 @@ std::string CampaignReport::to_json(bool include_timing) const {
 
   if (has_metrics) {
     // Campaign metrics are merged from per-seed snapshots that carry no
-    // wall-clock histograms, so this block is deterministic either way; the
-    // include_timing flag is still honoured for uniformity.
-    out << ",\n  \"metrics\": " << metrics.to_json(include_timing);
+    // wall-clock histograms, so the snapshot body is deterministic either
+    // way; the include_timing flag is still honoured for uniformity. The
+    // block leads with the monitor mode and (timing runs only) the
+    // steps-per-second rate, so a BENCH_* style throughput figure is
+    // reproducible from the report JSON alone: mode, steps, and rate all
+    // live next to the counters that produced them.
+    const std::string snapshot = metrics.to_json(include_timing);
+    out << ",\n  \"metrics\": {\"monitor_mode\": \"" << mode_name(mode)
+        << "\",";
+    if (include_timing) {
+      out << " \"steps_per_second\": " << std::fixed << std::setprecision(1)
+          << (wall_seconds > 0.0
+                  ? static_cast<double>(total_steps) / wall_seconds
+                  : 0.0)
+          << ",";
+      out.unsetf(std::ios_base::floatfield);
+    }
+    // Splice the snapshot's fields into the wrapper object (the snapshot
+    // renders as "{\n  \"counters\": ..." and ends with "}\n").
+    std::string body = snapshot.substr(1);
+    while (!body.empty() && body.back() == '\n') body.pop_back();
+    out << body;
   }
 
   if (include_timing) {

@@ -289,6 +289,19 @@ SeedResult SeedRunner::run_attempt(std::uint64_t seed) {
     result.error_kind = "timeout";
     result.finished = false;
   }
+  // kBoth differential oracle: a compiled monitor disagreeing with the
+  // interpreted oracle is a first-class result — a monitor implementation
+  // bug, never a property verdict and never retried (it is deterministic
+  // for the seed, so a retry would just reproduce it).
+  if (checker.divergence_count() != 0 && result.error.empty()) {
+    result.error = "monitor divergence: " + checker.divergences().front();
+    if (checker.divergence_count() > 1) {
+      result.error += " (+" +
+                      std::to_string(checker.divergence_count() - 1) +
+                      " more)";
+    }
+    result.error_kind = "monitor";
+  }
 
   const bool run_errored = !result.error.empty();
   for (const sctc::PropertyRecord& record : checker.properties()) {
@@ -296,8 +309,12 @@ SeedResult SeedRunner::run_attempt(std::uint64_t seed) {
     outcome.verdict = record.verdict();
     outcome.decided_at_step = record.decided_at_step;
     if (!plan.empty()) {
+      // A diverged monitor's verdict is unusable regardless of how the run
+      // ended; pin it to the monitor-error class explicitly.
       outcome.fault_class =
-          sctc::classify_under_fault(outcome.verdict, run_errored);
+          record.diverged
+              ? sctc::FaultClass::kMonitorError
+              : sctc::classify_under_fault(outcome.verdict, run_errored);
     }
     result.properties.push_back(outcome);
   }

@@ -466,8 +466,7 @@ std::string config_to_json(const campaign::CampaignConfig& config) {
   out += ",\"approach\":";
   append_u64(out, static_cast<std::uint64_t>(config.approach));
   out += ",\"mode\":";
-  out += config.mode == sctc::MonitorMode::kProgression ? "\"progression\""
-                                                        : "\"automaton\"";
+  out += json_string(sctc::monitor_mode_name(config.mode));
   out += ",\"max_steps\":";
   append_u64(out, config.max_steps);
   out += ",\"jobs\":";
@@ -497,9 +496,12 @@ campaign::CampaignConfig config_from_json(const Json& json) {
   config.program_source = json.at("program_source").as_string();
   config.spec_text = json.at("spec_text").as_string();
   config.approach = static_cast<int>(json.at("approach").as_u64());
-  config.mode = json.at("mode").as_string() == "automaton"
-                    ? sctc::MonitorMode::kSynthesizedAutomaton
-                    : sctc::MonitorMode::kProgression;
+  if (const auto mode = sctc::parse_monitor_mode(json.at("mode").as_string())) {
+    config.mode = *mode;
+  } else {
+    throw WireError("config: unknown monitor mode \"" +
+                    json.at("mode").as_string() + "\"");
+  }
   config.max_steps = json.at("max_steps").as_u64();
   config.jobs = static_cast<unsigned>(json.u64_or("jobs", 1));
   config.witness_depth =

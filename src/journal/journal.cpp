@@ -87,10 +87,10 @@ std::string config_digest(const campaign::CampaignConfig& config) {
   digest.feed(config.program_source);
   digest.feed(config.spec_text);
   digest.feed(static_cast<std::uint64_t>(config.approach));
-  digest.feed(
-      static_cast<std::uint64_t>(config.mode == sctc::MonitorMode::kProgression
-                                     ? 0
-                                     : 1));
+  // Enum values are digest-stable: progression=0 and automaton=1 match the
+  // pre-compiled-mode encoding, so old journals for those modes still
+  // resume; compiled=2 and both=3 extend the space.
+  digest.feed(static_cast<std::uint64_t>(config.mode));
   digest.feed(config.max_steps);
   digest.feed(config.seed_lo);
   digest.feed(config.seed_hi);

@@ -77,6 +77,19 @@ void TraceWriter::automaton_state(std::uint64_t step,
   append(line.str());
 }
 
+void TraceWriter::monitor_divergence(std::uint64_t step,
+                                     std::string_view property,
+                                     std::string_view detail) {
+  std::ostringstream line;
+  line << "{\"type\":\"monitor_divergence\",\"step\":" << step
+       << ",\"property\":\"";
+  escape_into(line, property);
+  line << "\",\"detail\":\"";
+  escape_into(line, detail);
+  line << "\"}";
+  append(line.str());
+}
+
 void TraceWriter::fault(std::uint64_t step, std::string_view text) {
   std::ostringstream line;
   line << "{\"type\":\"fault\",\"step\":" << step << ",\"text\":\"";

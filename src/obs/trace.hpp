@@ -16,6 +16,9 @@
 //   {"type":"monitor_transition","step":N,"property":"name",
 //    "from":"pending","to":"validated"|"violated"}
 //   {"type":"automaton_state","step":N,"property":"name","state":N}
+//   {"type":"monitor_divergence","step":N,"property":"name",
+//    "detail":"..."}   (compiled monitor disagreed with the interpreted
+//    oracle in --monitor-mode=both; docs/MONITORS.md)
 //   {"type":"fault","step":N,"text":"bitflip led bit 3"}
 //   {"type":"handshake","steps":N}
 //   {"type":"seed_end","seed":N,"steps":N,"validated":N,"violated":N,
@@ -41,6 +44,9 @@ class TraceWriter {
                           std::string_view from, std::string_view to);
   void automaton_state(std::uint64_t step, std::string_view property,
                        std::uint32_t state);
+  /// Compiled-vs-interpreted oracle mismatch (--monitor-mode=both).
+  void monitor_divergence(std::uint64_t step, std::string_view property,
+                          std::string_view detail);
   void fault(std::uint64_t step, std::string_view text);
   void handshake(std::uint64_t steps);
   /// Worker lifecycle event (distributed campaigns; docs/DISTRIBUTED.md).

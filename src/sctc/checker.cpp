@@ -21,6 +21,26 @@ bool compare(std::uint32_t lhs, Compare op, std::uint32_t rhs) {
 
 }  // namespace
 
+const char* monitor_mode_name(MonitorMode mode) {
+  switch (mode) {
+    case MonitorMode::kProgression: return "progression";
+    case MonitorMode::kSynthesizedAutomaton: return "automaton";
+    case MonitorMode::kCompiled: return "compiled";
+    case MonitorMode::kBoth: return "both";
+  }
+  return "?";
+}
+
+std::optional<MonitorMode> parse_monitor_mode(std::string_view name) {
+  if (name == "progression" || name == "interpreted") {
+    return MonitorMode::kProgression;
+  }
+  if (name == "automaton") return MonitorMode::kSynthesizedAutomaton;
+  if (name == "compiled") return MonitorMode::kCompiled;
+  if (name == "both") return MonitorMode::kBoth;
+  return std::nullopt;
+}
+
 FaultClass classify_under_fault(temporal::Verdict verdict, bool run_errored) {
   switch (verdict) {
     case temporal::Verdict::kValidated:
@@ -52,8 +72,11 @@ bool MemoryWordProposition::is_true() {
 }
 
 temporal::Verdict PropertyRecord::verdict() const {
+  // In kBoth mode the interpreted monitor is the oracle, so progression is
+  // consulted first; compiled alone answers in kCompiled mode.
   if (progression) return progression->verdict();
   if (automaton_monitor) return automaton_monitor->verdict();
+  if (compiled.valid()) return compiled.verdict();
   return temporal::Verdict::kPending;
 }
 
@@ -116,15 +139,24 @@ std::size_t TemporalChecker::add_property(const std::string& name,
     }
   }
 
-  if (mode_ == MonitorMode::kProgression) {
+  if (mode_ == MonitorMode::kProgression || mode_ == MonitorMode::kBoth) {
     record.progression = std::make_unique<temporal::ProgressionMonitor>(
         factory_, record.formula);
-  } else {
+  }
+  if (mode_ == MonitorMode::kSynthesizedAutomaton) {
     record.automaton = std::make_unique<temporal::ArAutomaton>(
         temporal::synthesize(factory_, record.formula));
     record.automaton_states = record.automaton->state_count();
     record.automaton_monitor =
         std::make_unique<temporal::AutomatonMonitor>(*record.automaton);
+  }
+  if (mode_ == MonitorMode::kCompiled || mode_ == MonitorMode::kBoth) {
+    // Synthesize, lower into the pool's flat arenas, and drop the source
+    // automaton: the compiled tables are self-contained.
+    const temporal::ArAutomaton automaton =
+        temporal::synthesize(factory_, record.formula);
+    record.automaton_states = automaton.state_count();
+    record.compiled = compiled_pool_.compile(automaton, factory_);
   }
   properties_.push_back(std::move(record));
   return properties_.size() - 1;
@@ -143,6 +175,7 @@ void TemporalChecker::set_metrics(obs::MetricsRegistry* metrics) {
     m_transitions_ = nullptr;
     m_validated_ = nullptr;
     m_violated_ = nullptr;
+    m_divergences_ = nullptr;
     m_decide_step_ = nullptr;
     return;
   }
@@ -151,13 +184,18 @@ void TemporalChecker::set_metrics(obs::MetricsRegistry* metrics) {
   m_transitions_ = &metrics->counter("sctc.monitor_transitions");
   m_validated_ = &metrics->counter("sctc.validated");
   m_violated_ = &metrics->counter("sctc.violated");
+  m_divergences_ = &metrics->counter("sctc.divergences");
   m_decide_step_ = &metrics->histogram("sctc.decide_step");
 }
 
 void TemporalChecker::evaluate_propositions() {
   // The step-1 valuation counts every proposition as a "change" (from
   // unknown), so a trace always opens with the full initial valuation.
+  // Every proposition is evaluated exactly once per step; the packed
+  // prop_word_ is what the compiled monitors index their transition tables
+  // with (bit i = factory proposition index i).
   const bool observe = trace_ != nullptr || m_prop_changes_ != nullptr;
+  temporal::PropWord word = 0;
   for (std::size_t i = 0; i < propositions_by_index_.size(); ++i) {
     if (propositions_by_index_[i]) {
       const char value = propositions_by_index_[i]->is_true() ? 1 : 0;
@@ -169,9 +207,15 @@ void TemporalChecker::evaluate_propositions() {
         }
       }
       value_cache_[i] = value;
-      if (value) ++true_counts_[i];
+      if (value) {
+        ++true_counts_[i];
+        if (i < temporal::kMaxPropWordBits) {
+          word |= temporal::PropWord{1} << i;
+        }
+      }
     }
   }
+  prop_word_ = word;
 }
 
 temporal::PropValuation TemporalChecker::make_valuation() {
@@ -228,18 +272,53 @@ void TemporalChecker::step_all() {
   if (m_steps_ != nullptr) m_steps_->add();
   evaluate_propositions();
   record_witness();
-  const auto valuation = make_valuation();
+  // Compiled monitors read prop_word_ directly; the closure-based valuation
+  // is only materialized for the modes that interpret formulas.
+  temporal::PropValuation valuation;
+  if (mode_ != MonitorMode::kCompiled) valuation = make_valuation();
   bool violated_now = false;
   for (PropertyRecord& record : properties_) {
     if (record.verdict() != temporal::Verdict::kPending) continue;
     temporal::Verdict v;
-    if (record.progression) {
+    if (mode_ == MonitorMode::kBoth) {
+      // Lockstep differential oracle: the compiled fast path must follow the
+      // interpreted monitor transition for transition — same verdict and the
+      // same pending obligation (compiled states map back to hash-consed
+      // obligation formulas, so pointer equality is exact). The first
+      // mismatch per property is recorded; verdicts stay the oracle's.
       v = record.progression->step(valuation);
-    } else {
+      const temporal::Verdict compiled_verdict =
+          record.compiled.step(prop_word_);
+      if (!record.diverged &&
+          (compiled_verdict != v ||
+           record.compiled.obligation() != record.progression->current())) {
+        record.diverged = true;
+        std::ostringstream detail;
+        detail << "property " << record.name << " diverged at step " << steps_
+               << ": interpreted " << temporal::to_string(v) << " \""
+               << record.progression->current()->to_string()
+               << "\" vs compiled "
+               << temporal::to_string(compiled_verdict) << " state "
+               << record.compiled.state() << " \""
+               << record.compiled.obligation()->to_string() << "\"";
+        divergences_.push_back(detail.str());
+        if (m_divergences_ != nullptr) m_divergences_->add();
+        if (trace_ != nullptr) {
+          trace_->monitor_divergence(steps_, record.name, divergences_.back());
+        }
+      }
+    } else if (record.progression) {
+      v = record.progression->step(valuation);
+    } else if (record.automaton_monitor) {
       v = record.automaton_monitor->step(valuation);
+    } else {
+      v = record.compiled.step(prop_word_);
     }
-    if (trace_ != nullptr && record.automaton_monitor) {
-      const std::uint32_t state = record.automaton_monitor->state();
+    if (trace_ != nullptr &&
+        (record.automaton_monitor || record.compiled.valid())) {
+      const std::uint32_t state = record.automaton_monitor
+                                      ? record.automaton_monitor->state()
+                                      : record.compiled.state();
       if (state != record.traced_state) {
         trace_->automaton_state(steps_, record.name, state);
         record.traced_state = state;
@@ -294,14 +373,28 @@ std::vector<std::uint64_t> TemporalChecker::registered_proposition_true_counts()
 
 void TemporalChecker::reset_monitors() {
   steps_ = 0;
+  prop_word_ = 0;
+  divergences_.clear();
   for (std::uint64_t& count : true_counts_) count = 0;
   for (PropertyRecord& record : properties_) {
     if (record.progression) record.progression->reset();
     if (record.automaton_monitor) record.automaton_monitor->reset();
+    if (record.compiled.valid()) record.compiled.reset();
+    record.diverged = false;
     record.decided_at_step = 0;
     record.decided_at_time = sim::Time::zero();
     record.traced_state = UINT32_MAX;
   }
+}
+
+void TemporalChecker::corrupt_compiled_for_test(std::size_t property_index,
+                                                std::uint32_t state) {
+  PropertyRecord& record = properties_.at(property_index);
+  if (!record.compiled.valid()) {
+    throw std::logic_error(
+        "corrupt_compiled_for_test: property has no compiled monitor");
+  }
+  record.compiled.corrupt_state_for_test(state);
 }
 
 std::size_t TemporalChecker::pending_count() const {
@@ -331,9 +424,10 @@ std::size_t TemporalChecker::violated_count() const {
 std::string TemporalChecker::report() const {
   std::ostringstream out;
   out << "SCTC " << name() << " after " << steps_ << " steps ("
-      << (mode_ == MonitorMode::kProgression ? "progression"
-                                             : "AR-automaton")
-      << " mode)\n";
+      << monitor_mode_name(mode_) << " mode)\n";
+  for (const std::string& divergence : divergences_) {
+    out << "  MONITOR-ERROR " << divergence << "\n";
+  }
   for (const auto& r : properties_) {
     out << "  [" << temporal::to_string(r.verdict()) << "] " << r.name << ": "
         << r.text;

@@ -6,20 +6,33 @@
 // the second — it evaluates all propositions once and advances every pending
 // property monitor by one temporal step.
 //
-// Monitors run in one of two modes, which produce identical verdicts:
-//   kProgression           — lazy formula rewriting, no build cost
+// Monitors run in one of four modes, which produce identical verdicts:
+//   kProgression           — lazy formula rewriting, no build cost (the
+//                            "interpreted" mode)
 //   kSynthesizedAutomaton  — the paper's pipeline: the property is translated
 //                            into an AR-automaton (IL) ahead of time; each
 //                            step is then a table lookup. Generation time is
 //                            part of the reported verification time, which is
 //                            why the paper's TB-10000 column is dominated by
 //                            AR-automaton generation.
+//   kCompiled              — the AR-automaton lowered further into flat
+//                            transition tables (temporal/compiled.hpp):
+//                            propositions are evaluated once per step into a
+//                            uint64_t word, each monitor step is one dense
+//                            state x word-class lookup, and steady-state
+//                            stepping performs zero heap allocations.
+//   kBoth                  — interpreted and compiled monitors run in
+//                            lockstep; any verdict or obligation divergence
+//                            between them is recorded as a first-class
+//                            monitor error (docs/MONITORS.md). The verdicts
+//                            reported are the interpreted oracle's.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -28,12 +41,27 @@
 #include "sim/kernel.hpp"
 #include "sim/module.hpp"
 #include "temporal/automaton.hpp"
+#include "temporal/compiled.hpp"
 #include "temporal/monitor.hpp"
 #include "temporal/parser.hpp"
 
 namespace esv::sctc {
 
-enum class MonitorMode { kProgression, kSynthesizedAutomaton };
+enum class MonitorMode : std::uint8_t {
+  kProgression,
+  kSynthesizedAutomaton,
+  kCompiled,
+  kBoth,
+};
+
+/// Stable lower-case mode name ("progression" / "automaton" / "compiled" /
+/// "both"), used by reports, the wire protocol, and the CLI.
+const char* monitor_mode_name(MonitorMode mode);
+
+/// Parses a mode name. Accepts the canonical names plus "interpreted" as an
+/// alias for progression (the --monitor-mode spelling). Returns nullopt for
+/// anything else.
+std::optional<MonitorMode> parse_monitor_mode(std::string_view name);
 
 /// Robustness classification of a property verdict under fault injection.
 /// Fault campaigns use it to separate software robustness bugs from
@@ -66,10 +94,18 @@ struct PropertyRecord {
   temporal::Dialect dialect = temporal::Dialect::kFltl;
   temporal::FormulaRef formula = nullptr;
 
-  // Exactly one of these is active, depending on the checker's mode.
+  // Active monitors depend on the checker's mode: progression alone
+  // (kProgression), automaton + automaton_monitor (kSynthesizedAutomaton),
+  // compiled alone (kCompiled), or progression + compiled in lockstep
+  // (kBoth).
   std::unique_ptr<temporal::ProgressionMonitor> progression;
   std::unique_ptr<temporal::ArAutomaton> automaton;
   std::unique_ptr<temporal::AutomatonMonitor> automaton_monitor;
+  temporal::CompiledMonitor compiled;
+  /// kBoth only: the compiled fast path disagreed with the interpreted
+  /// oracle at some step. The reported verdict stays the oracle's; the
+  /// divergence itself is surfaced through TemporalChecker::divergences().
+  bool diverged = false;
 
   /// Steps consumed when the verdict became final (0 while pending).
   std::uint64_t decided_at_step = 0;
@@ -134,6 +170,19 @@ class TemporalChecker : public sim::Module {
   /// are cleared; propositions keep their own state).
   void reset_monitors();
 
+  // --- differential oracle (kBoth; docs/MONITORS.md) ---
+  /// Number of properties whose compiled monitor diverged from the
+  /// interpreted oracle. Always 0 outside kBoth mode; any non-zero count is
+  /// a monitor implementation bug, never a property result.
+  std::size_t divergence_count() const { return divergences_.size(); }
+  /// One deterministic description per diverged property (first divergence
+  /// wins; later steps of an already-diverged monitor are not re-reported).
+  const std::vector<std::string>& divergences() const { return divergences_; }
+  /// Test hook: forces a property's compiled monitor into the given state so
+  /// the divergence reporting path can be exercised (kCompiled/kBoth only).
+  void corrupt_compiled_for_test(std::size_t property_index,
+                                 std::uint32_t state);
+
   // --- results ---
   const std::vector<PropertyRecord>& properties() const { return properties_; }
   std::uint64_t steps() const { return steps_; }
@@ -184,10 +233,13 @@ class TemporalChecker : public sim::Module {
 
   MonitorMode mode_;
   temporal::FormulaFactory factory_;
+  temporal::CompiledMonitorPool compiled_pool_;  // kCompiled / kBoth arenas
   std::vector<std::unique_ptr<Proposition>> propositions_by_index_;
   std::vector<PropertyRecord> properties_;
   std::vector<char> value_cache_;  // per-step proposition values
+  temporal::PropWord prop_word_ = 0;  // same values, packed for compiled mode
   std::vector<std::uint64_t> true_counts_;  // per-proposition steps-true
+  std::vector<std::string> divergences_;    // kBoth oracle mismatches
   std::uint64_t steps_ = 0;
   bool stop_on_violation_ = false;
   std::size_t witness_depth_ = 0;
@@ -202,6 +254,7 @@ class TemporalChecker : public sim::Module {
   obs::Counter* m_transitions_ = nullptr;
   obs::Counter* m_validated_ = nullptr;
   obs::Counter* m_violated_ = nullptr;
+  obs::Counter* m_divergences_ = nullptr;
   obs::Histogram* m_decide_step_ = nullptr;
 };
 

@@ -106,6 +106,43 @@ TEST(CampaignTest, DeterministicAcrossJobsCountsAutomatonMode) {
   EXPECT_EQ(serial.verdict_table(), parallel.verdict_table());
 }
 
+TEST(CampaignTest, CompiledAndBothModesMatchInterpretedVerdicts) {
+  const CampaignReport interpreted = run(blinker_config(1, 8, 2));
+  for (const sctc::MonitorMode mode :
+       {sctc::MonitorMode::kCompiled, sctc::MonitorMode::kBoth}) {
+    CampaignConfig config = blinker_config(1, 8, 2);
+    config.mode = mode;
+    const CampaignReport report = run(config);
+    // The verdict tables carry the mode name, so compare the aggregates.
+    EXPECT_EQ(report.validated_total, interpreted.validated_total);
+    EXPECT_EQ(report.violated_total, interpreted.violated_total);
+    EXPECT_EQ(report.pending_total, interpreted.pending_total);
+    EXPECT_EQ(report.total_steps, interpreted.total_steps);
+    // `both` would surface any compiled-vs-interpreted divergence as an
+    // errored seed (error_kind "monitor"); a correct build has none.
+    EXPECT_EQ(report.error_seeds, 0u);
+  }
+}
+
+TEST(CampaignTest, ReportMetricsBlockRecordsMonitorModeAndThroughput) {
+  CampaignConfig config = blinker_config(1, 4, 2);
+  config.mode = sctc::MonitorMode::kCompiled;
+  config.collect_metrics = true;
+  const CampaignReport report = run(config);
+
+  // The metrics block alone must pin down how a BENCH_* figure was made:
+  // monitor mode always, steps/s only when timing is included (so the
+  // timing-free rendering stays byte-deterministic).
+  const std::string deterministic = report.to_json(/*include_timing=*/false);
+  EXPECT_NE(deterministic.find("\"monitor_mode\": \"compiled\""),
+            std::string::npos);
+  EXPECT_EQ(deterministic.find("steps_per_second"), std::string::npos);
+
+  const std::string timed = report.to_json(/*include_timing=*/true);
+  EXPECT_NE(timed.find("\"monitor_mode\": \"compiled\""), std::string::npos);
+  EXPECT_NE(timed.find("\"steps_per_second\": "), std::string::npos);
+}
+
 TEST(CampaignTest, SingleSeedCampaignMatchesLegacySingleRunPath) {
   const std::uint64_t kSeed = 7;
   const CampaignReport report = run(blinker_config(kSeed, kSeed, 1));

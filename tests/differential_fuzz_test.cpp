@@ -205,13 +205,14 @@ struct CheckedRun {
 /// transitions.
 CheckedRun run_checked(const std::string& source, int approach,
                        const std::vector<std::pair<std::string, std::uint32_t>>&
-                           final_values) {
+                           final_values,
+                       sctc::MonitorMode mode = sctc::MonitorMode::kProgression) {
   minic::Program program = minic::compile(source);
   sim::Simulation sim;
   mem::AddressSpace memory(0x10000);
   minic::ZeroInputProvider inputs;
 
-  sctc::TemporalChecker checker(sim, "sctc");
+  sctc::TemporalChecker checker(sim, "sctc", mode);
   obs::MetricsRegistry metrics;
   obs::TraceWriter trace;
   checker.set_metrics(&metrics);
@@ -261,6 +262,11 @@ CheckedRun run_checked(const std::string& source, int approach,
     EXPECT_FALSE(core.trapped()) << core.trap_message();
   }
 
+  // In `both` mode the compiled fast path shadows the interpreted oracle
+  // for the whole run; any disagreement is a test failure right here.
+  EXPECT_EQ(checker.divergence_count(), 0u)
+      << (checker.divergence_count() != 0 ? checker.divergences()[0] : "");
+
   CheckedRun result;
   result.transitions = transition_events(trace.text());
   result.transition_count =
@@ -301,6 +307,49 @@ TEST_P(DifferentialFuzzTest, MonitorTransitionCountsAgree) {
   // Every watched global reaches its final value, so the F-properties fire
   // at least once per run.
   EXPECT_GE(derived.transition_count, final_values.size());
+}
+
+TEST_P(DifferentialFuzzTest, MonitorModesAgreeAcrossApproaches) {
+  ProgramGenerator gen(static_cast<std::uint64_t>(GetParam()) * 0x2B0DE);
+  const std::string source = gen.generate();
+  SCOPED_TRACE(source);
+
+  minic::Program program = minic::compile(source);
+  esw::EswProgram lowered = esw::lower_program(program);
+  mem::AddressSpace memory(0x10000);
+  minic::ZeroInputProvider inputs;
+  esw::Interpreter interp(program, lowered, memory, inputs);
+  interp.run(2'000'000);
+  ASSERT_TRUE(interp.finished());
+
+  std::vector<std::pair<std::string, std::uint32_t>> final_values;
+  for (std::size_t i = 0; i < program.globals.size() && i < 2; ++i) {
+    const std::string& name = program.globals[i].name;
+    final_values.emplace_back(name, interp.global(name));
+  }
+  ASSERT_FALSE(final_values.empty());
+
+  // The full approach x monitor-mode matrix must take identical monitor
+  // transitions: both platform samplings (per statement, per cycle) crossed
+  // with the interpreted and the compiled monitor pipelines. `both` rides
+  // along as the strongest cell — it cross-checks the two pipelines inside
+  // a single run on top of comparing the traces.
+  const CheckedRun reference =
+      run_checked(source, 2, final_values, sctc::MonitorMode::kProgression);
+  for (const int approach : {1, 2}) {
+    for (const sctc::MonitorMode mode :
+         {sctc::MonitorMode::kProgression, sctc::MonitorMode::kCompiled,
+          sctc::MonitorMode::kBoth}) {
+      if (approach == 2 && mode == sctc::MonitorMode::kProgression) {
+        continue;  // that cell is the reference itself
+      }
+      SCOPED_TRACE(std::string("approach ") + std::to_string(approach) +
+                   " mode " + sctc::monitor_mode_name(mode));
+      const CheckedRun run = run_checked(source, approach, final_values, mode);
+      EXPECT_EQ(run.transitions, reference.transitions);
+      EXPECT_EQ(run.transition_count, reference.transition_count);
+    }
+  }
 }
 
 }  // namespace

@@ -218,6 +218,27 @@ TEST(DistWireTest, CampaignConfigRoundTripsLosslessly) {
   EXPECT_EQ(copy.seed_retries, config.seed_retries);
 }
 
+TEST(DistWireTest, EveryMonitorModeRoundTrips) {
+  for (const sctc::MonitorMode mode :
+       {sctc::MonitorMode::kProgression, sctc::MonitorMode::kSynthesizedAutomaton,
+        sctc::MonitorMode::kCompiled, sctc::MonitorMode::kBoth}) {
+    campaign::CampaignConfig config;
+    config.mode = mode;
+    const campaign::CampaignConfig copy =
+        config_from_json(Json::parse(config_to_json(config)));
+    EXPECT_EQ(copy.mode, mode) << sctc::monitor_mode_name(mode);
+  }
+
+  // An unknown mode string is a wire error, not a silent default: a broker
+  // and a worker disagreeing on the monitor mode would verify different
+  // things.
+  std::string json = config_to_json(campaign::CampaignConfig{});
+  const std::size_t at = json.find("\"progression\"");
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, std::string("\"progression\"").size(), "\"warp\"");
+  EXPECT_THROW(config_from_json(Json::parse(json)), WireError);
+}
+
 TEST(DistWireTest, SeedResultRoundTripsLosslessly) {
   campaign::SeedResult result;
   result.seed = 18446744073709551610ull;

@@ -115,6 +115,24 @@ TEST(EsvVerifyCliTest, SingleRunStillExitsZeroOnCleanVerify) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+TEST(EsvVerifyCliTest, MonitorModeFlagRejectsUnknownNames) {
+  const RunResult r = run_cli(sample_args() + " --monitor-mode=psychic");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--monitor-mode"), std::string::npos) << r.output;
+}
+
+TEST(EsvVerifyCliTest, MonitorModeFlagSelectsEveryMode) {
+  for (const char* mode : {"interpreted", "automaton", "compiled", "both"}) {
+    const RunResult r =
+        run_cli(sample_args() + " --monitor-mode=" + mode + " --quiet");
+    EXPECT_EQ(r.exit_code, 0) << mode << "\n" << r.output;
+  }
+  // The full spelling is echoed in the verdict table header.
+  const RunResult both = run_cli(sample_args() + " --monitor-mode=both");
+  EXPECT_EQ(both.exit_code, 0) << both.output;
+  EXPECT_NE(both.output.find("both mode"), std::string::npos) << both.output;
+}
+
 TEST(EsvVerifyCliTest, CampaignRunsAndWritesReport) {
   const std::string report = ::testing::TempDir() + "/campaign_report.json";
   std::remove(report.c_str());

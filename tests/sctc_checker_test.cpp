@@ -212,11 +212,11 @@ TEST_P(CheckerTest, PslDialectSupported) {
 
 INSTANTIATE_TEST_SUITE_P(Modes, CheckerTest,
                          ::testing::Values(MonitorMode::kProgression,
-                                           MonitorMode::kSynthesizedAutomaton),
+                                           MonitorMode::kSynthesizedAutomaton,
+                                           MonitorMode::kCompiled,
+                                           MonitorMode::kBoth),
                          [](const ::testing::TestParamInfo<MonitorMode>& info) {
-                           return info.param == MonitorMode::kProgression
-                                      ? "progression"
-                                      : "automaton";
+                           return monitor_mode_name(info.param);
                          });
 
 TEST(CheckerModeTest, AutomatonModeRecordsStateCount) {
@@ -225,6 +225,19 @@ TEST(CheckerModeTest, AutomatonModeRecordsStateCount) {
   checker.register_proposition("a", [] { return true; });
   checker.add_property("bounded", "F[50] a");
   EXPECT_GT(checker.properties()[0].automaton_states, 50u);
+}
+
+TEST(CheckerModeTest, ModeNamesRoundTrip) {
+  for (const MonitorMode mode :
+       {MonitorMode::kProgression, MonitorMode::kSynthesizedAutomaton,
+        MonitorMode::kCompiled, MonitorMode::kBoth}) {
+    const auto parsed = parse_monitor_mode(monitor_mode_name(mode));
+    ASSERT_TRUE(parsed.has_value()) << monitor_mode_name(mode);
+    EXPECT_EQ(*parsed, mode);
+  }
+  // The CLI spelling "interpreted" is an alias for the progression rewriter.
+  EXPECT_EQ(parse_monitor_mode("interpreted"), MonitorMode::kProgression);
+  EXPECT_EQ(parse_monitor_mode("bogus"), std::nullopt);
 }
 
 // --- EswMonitor (handshake protocol, Fig. 3) ---------------------------------

@@ -9,6 +9,12 @@
 //     --max-steps=N        statement/cycle budget (default 1,000,000)
 //     --seed=S             stimulus seed (default 1)
 //     --mode=progression|automaton   monitor mode (default progression)
+//     --monitor-mode=interpreted|automaton|compiled|both
+//                          full monitor-mode spelling (docs/MONITORS.md):
+//                          "interpreted" is the progression rewriter,
+//                          "compiled" the flat-transition-table lowering,
+//                          "both" runs the two in lockstep and reports any
+//                          divergence as a monitor error (exit 3)
 //     --vcd=FILE           dump a waveform of all propositions
 //     --witness=N          keep the last N steps as a violation witness
 //     --faults=FILE        inject faults from a fault plan (docs/FAULTS.md)
@@ -151,6 +157,15 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
         options.mode = sctc::MonitorMode::kSynthesizedAutomaton;
       } else {
         error = "--mode must be progression or automaton";
+        return false;
+      }
+    } else if (value_of("--monitor-mode=", value)) {
+      if (const auto mode = sctc::parse_monitor_mode(value)) {
+        options.mode = *mode;
+      } else {
+        error =
+            "--monitor-mode must be interpreted (progression), automaton, "
+            "compiled, or both";
         return false;
       }
     } else if (value_of("--campaign=", value)) {
@@ -645,6 +660,14 @@ int main(int argc, char** argv) {
     if (checker.any_violated() && options.witness != 0) {
       std::cout << "witness (last " << options.witness << " steps):\n"
                 << checker.witness_table();
+    }
+    if (checker.divergence_count() != 0) {
+      // A compiled-vs-interpreted divergence is a defect of the verifier
+      // itself, never a property result: same exit code as a runtime error.
+      std::cerr << "monitor error: " << checker.divergence_count()
+                << " compiled monitor(s) diverged from the interpreted "
+                   "oracle (--monitor-mode=both)\n";
+      return 3;
     }
     return checker.any_violated() ? 1 : 0;
   } catch (const std::exception& e) {
