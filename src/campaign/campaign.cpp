@@ -41,14 +41,28 @@ CampaignReport run(const CampaignConfig& config) {
 
   std::atomic<std::uint64_t> cursor{0};
 
+  // Whole-campaign deadline (--campaign-timeout): workers stop claiming new
+  // seeds past it; the unclaimed slots get deterministic deadline captures
+  // after the join. A seed already running finishes (per-seed preemption is
+  // seed_timeout_seconds' job).
+  const bool deadline_active = config.campaign_timeout_seconds > 0.0;
+  const auto deadline =
+      started + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        config.campaign_timeout_seconds));
+
   const auto worker = [&] {
     SeedRunner runner(config, setup);
     for (;;) {
+      if (deadline_active && std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
       const std::uint64_t index =
           cursor.fetch_add(1, std::memory_order_relaxed);
       if (index >= count) break;
       if (done[index]) continue;
       report.seeds[index] = runner.run_seed(config.seed_lo + index);
+      done[index] = 1;
       if (config.on_result) config.on_result(report.seeds[index]);
     }
   };
@@ -60,6 +74,18 @@ CampaignReport run(const CampaignConfig& config) {
     pool.reserve(jobs);
     for (unsigned i = 0; i < jobs; ++i) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
+  }
+
+  // Deadline-cut slots: structured, deterministic captures. Not journaled
+  // (on_result never ran for them), so a --resume recomputes them.
+  for (std::uint64_t index = 0; index < count; ++index) {
+    if (done[index]) continue;
+    report.deadline_exceeded = true;
+    SeedResult& slot = report.seeds[index];
+    slot.seed = config.seed_lo + index;
+    slot.error = "campaign: wall-clock deadline exceeded (--campaign-timeout)";
+    slot.error_kind = "infrastructure";
+    slot.fault_plan_digest = setup.plan_digest;
   }
 
   finalize_report(config, setup, report);

@@ -83,8 +83,18 @@ struct CampaignConfig {
   double seed_timeout_seconds = 0.0;
   /// Bounded retries for seeds that die with an infrastructure error (not
   /// a fault of the software under test, not a timeout). The last attempt's
-  /// result is kept; SeedResult::attempts records how many ran.
+  /// result is kept; SeedResult::attempts records how many ran. Retries
+  /// wait out a short exponential backoff between attempts.
   unsigned seed_retries = 0;
+  /// Whole-campaign wall-clock deadline in seconds (--campaign-timeout);
+  /// past it the run aborts in a structured way: every unfinished seed is
+  /// captured as a deterministic "infrastructure" error naming the deadline
+  /// and CampaignReport::deadline_exceeded is set (esv-verify exits 3).
+  /// 0 disables. Orchestrator-side only: never crosses the wire to workers
+  /// and is excluded from the journal config digest, so an aborted run can
+  /// be resumed with a fresh (or no) deadline. Like seed_timeout_seconds,
+  /// enabling it trades cross-run determinism for a bounded wall clock.
+  double campaign_timeout_seconds = 0.0;
   /// Per-seed address-space ceiling in MiB, enforced by esv-worker via
   /// RLIMIT_AS around seed execution (distributed runs only; the in-process
   /// runner ignores it because a process-wide limit would also cap the
@@ -225,6 +235,20 @@ struct CampaignReport {
   obs::MetricsSnapshot dist_metrics;
   /// Worker lifecycle JSONL (spawn/exit/respawn/timeout events).
   std::string dist_events_jsonl;
+  /// The campaign finished in-process after every worker slot died with no
+  /// respawn budget left (docs/RESILIENCE.md "graceful degradation"). The
+  /// per-seed results are unaffected; only this flag and timing differ.
+  bool degraded = false;
+  /// campaign_timeout_seconds elapsed before every seed finished; the
+  /// unfinished seeds hold deterministic deadline captures (error_kind
+  /// "infrastructure") and esv-verify exits 3.
+  bool deadline_exceeded = false;
+  /// Self-chaos (--chaos, docs/RESILIENCE.md): orchestrator-side chaos.*
+  /// counters and the chaos_injected event JSONL. Worker-side chaos
+  /// counters ride home inside dist_metrics instead. Operational only —
+  /// rendered in the timing section, never in deterministic output.
+  obs::MetricsSnapshot chaos_metrics;
+  std::string chaos_events_jsonl;
 
   std::uint64_t total_steps = 0;
   std::uint64_t total_statements = 0;

@@ -299,11 +299,20 @@ std::string CampaignReport::to_json(bool include_timing) const {
         << seeds_per_second();
     out.unsetf(std::ios_base::floatfield);
     if (distributed) out << ", \"workers\": " << workers;
+    // Operational resilience flags (docs/RESILIENCE.md): how the run ended,
+    // never what it computed — hence timing-class.
+    if (degraded) out << ", \"degraded\": true";
+    if (deadline_exceeded) out << ", \"aborted\": \"deadline\"";
     out << "}";
     if (distributed && !dist_metrics.empty()) {
       // Operational only: how the run was executed (frames, bytes, steals,
       // respawns), never what it computed — hence timing-class.
       out << ",\n  \"dist\": " << dist_metrics.to_json(/*include_timing=*/true);
+    }
+    if (!chaos_metrics.empty()) {
+      // Orchestrator-side self-chaos counters (--chaos); operational like
+      // the dist block. Worker-side chaos counters land in "dist" instead.
+      out << ",\n  \"chaos\": " << chaos_metrics.to_json(/*include_timing=*/true);
     }
   }
   out << "\n}\n";

@@ -1,13 +1,16 @@
 #include "campaign/seed_runner.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <new>
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <thread>
 
+#include "common/rng.hpp"
 #include "cpu/codegen.hpp"
 #include "cpu/cpu.hpp"
 #include "esw/esw_model.hpp"
@@ -69,6 +72,21 @@ void classify_bad_alloc(const CampaignConfig& config, SeedResult& result) {
     result.error = "allocation failed (std::bad_alloc)";
     result.error_kind = "infrastructure";
   }
+}
+
+/// Exponential backoff with deterministic jitter between infrastructure
+/// retries (docs/RESILIENCE.md): attempt n waits ~10ms * 2^n capped at
+/// 500ms, scaled into [50%, 100%] by a draw seeded from (seed, attempt) —
+/// reproducible, and desynchronized across seeds so a pool of retrying
+/// workers does not stampede whatever resource just failed.
+void backoff_before_retry(std::uint64_t seed, unsigned attempt) {
+  double delay = 0.010;
+  for (unsigned i = 0; i < attempt && delay < 0.5; ++i) delay *= 2.0;
+  if (delay > 0.5) delay = 0.5;
+  common::Rng jitter(seed * 0x9E3779B97F4A7C15ULL + attempt + 1);
+  delay *= 0.5 +
+           0.5 * (static_cast<double>(jitter.next_below(1024)) / 1024.0);
+  std::this_thread::sleep_for(std::chrono::duration<double>(delay));
 }
 
 /// Immutable per-worker verification stack. Each worker compiles its own
@@ -207,6 +225,23 @@ SeedResult SeedRunner::run_attempt(std::uint64_t seed) {
   checker.set_stop_on_violation(true);
   if (config.witness_depth != 0) {
     checker.set_witness_depth(config.witness_depth);
+  }
+
+  // Test-only divergence hook: when the variable names this seed (and the
+  // mode carries compiled monitors), property 0's compiled monitor is forced
+  // one state off the interpreted oracle, producing a deterministic
+  // "monitor"-kind error capture. Lets resume/retry tests prove that monitor
+  // errors are journaled and never re-run without patching the checker.
+  if (const char* env = std::getenv("ESV_CAMPAIGN_TEST_DIVERGE_SEED")) {
+    if (config.mode == sctc::MonitorMode::kBoth &&
+        std::strtoull(env, nullptr, 10) == seed &&
+        !checker.properties().empty()) {
+      const sctc::PropertyRecord& record = checker.properties().front();
+      if (record.automaton_states > 1) {
+        checker.corrupt_compiled_for_test(
+            0, (record.compiled.state() + 1) % record.automaton_states);
+      }
+    }
   }
 
   try {
@@ -400,6 +435,7 @@ SeedResult SeedRunner::run_seed(std::uint64_t seed) {
           attempt >= config_.seed_retries) {
         break;
       }
+      backoff_before_retry(seed, attempt);
     }
   }
   // Errored seeds in a fault campaign carry the plan digest so the crash

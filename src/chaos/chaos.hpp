@@ -1,0 +1,253 @@
+// Self-chaos engine (docs/RESILIENCE.md): deterministic, seed-salted fault
+// injection for the verifier's *own* infrastructure — the mirror image of
+// src/fault/, which breaks the program under verification. Chaos breaks the
+// campaign plane instead: wire frames, worker processes, journal I/O.
+//
+// A ChaosPlan is a list of directives, one per line (or ';'-separated),
+// blank lines and '#' comments ignored:
+//
+//   # point action [arg] [nth N | prob A/B] [count K] [role R] [gen G]
+//   wire.tx drop nth 3                   # silently lose the 3rd frame sent
+//   wire.tx corrupt prob 1/50 count 2    # flip a payload byte, 2 times max
+//   wire.tx delay 50 nth 1               # stall the 1st send 50 ms
+//   worker.seed crash nth 2 gen 0        # SIGKILL before the 2nd seed,
+//                                        #   first incarnation only
+//   worker.seed stall 200 prob 1/10      # sleep 200 ms before a seed
+//   worker.heartbeat delay 400 nth 5     # one late heartbeat
+//   journal.write failwrite nth 4        # tear the 4th record, report EIO
+//   journal.write enospc nth 1           # first record write sees ENOSPC
+//   journal.fsync failsync nth 2         # second fsync reports EIO
+//
+// Selectors: `nth N` fires on the Nth hit of the point (1-based) and, with
+// `count K`, on the K-1 hits after it; `prob A/B` draws per hit instead.
+// Exactly one of nth/prob per directive; neither means `nth 1`. `count K`
+// caps total injections for the directive (default 1; `count 0` = no cap).
+// `role broker|worker` and `gen G` narrow a directive to one side of the
+// campaign or one worker incarnation.
+//
+// Determinism: an engine is constructed from (plan, chaos seed, role,
+// worker id, generation), and every decision is a pure function of those
+// plus the per-point hit counter. Probabilistic draws use a private
+// splitmix-seeded Rng per (directive, hit), so two runs with the same plan
+// and seed inject identically — which is what lets the chaos sweep assert
+// byte-identical recovery.
+//
+// Cost when off: fault points call chaos::at(), which is one relaxed atomic
+// load and a branch when no engine is installed (bench_chaos_overhead holds
+// this under 1% of campaign throughput).
+//
+// Process propagation: the broker forwards its plan to spawned workers via
+// the ESV_CHAOS_PLAN / ESV_CHAOS_SEED environment; esv-worker calls
+// install_from_env() at startup.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esv::obs {
+class Counter;
+class MetricsRegistry;
+class TraceWriter;
+}  // namespace esv::obs
+
+namespace esv::chaos {
+
+/// Raised on malformed chaos-plan text.
+class ChaosPlanError : public std::runtime_error {
+ public:
+  ChaosPlanError(const std::string& message, int line)
+      : std::runtime_error("chaos plan line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Named infrastructure fault points. Each is probed exactly once per
+/// operation by the layer that owns it.
+enum class Point : std::uint8_t {
+  kWireTx = 0,       // dist/wire.cpp write_frame: one probe per frame sent
+  kWorkerSeed,       // dist/worker.cpp compute_loop: one probe per seed taken
+  kWorkerHeartbeat,  // dist/worker.cpp heartbeat_loop: one probe per beat
+  kJournalWrite,     // journal/journal.cpp write_record: one probe per record
+  kJournalFsync,     // journal/journal.cpp sync_now: one probe per fsync
+};
+inline constexpr std::size_t kPointCount = 5;
+
+/// Canonical point name as written in plans ("wire.tx", ...).
+const char* point_name(Point point);
+
+enum class Action : std::uint8_t {
+  kNone = 0,
+  // wire.tx
+  kDrop,       // frame silently not sent
+  kTruncate,   // only the first half of the frame bytes are sent
+  kCorrupt,    // one payload byte XORed (detected by the frame CRC)
+  kDuplicate,  // frame sent twice
+  kDelay,      // send (or heartbeat) delayed arg milliseconds
+  kShortSend,  // frame sent one byte per send(2) call
+  // worker.seed
+  kCrash,  // raise(SIGKILL) before computing the seed
+  kStall,  // sleep arg milliseconds before computing the seed
+  // worker.heartbeat reuses kDelay
+  // journal.write
+  kShortWrite,  // record written one byte per write(2) call (must succeed)
+  kFailWrite,   // half the record written, then the write reports EIO
+  kEnospc,      // write reports ENOSPC before any byte lands
+  // journal.fsync
+  kFailSync,  // fsync reports EIO
+};
+
+/// Canonical action name as written in plans ("drop", "failwrite", ...).
+const char* action_name(Action action);
+
+/// Which side of the campaign an engine runs on. Directives default to
+/// kAny; `role broker` / `role worker` narrow them.
+enum class Role : std::uint8_t { kAny = 0, kBroker, kWorker };
+
+struct ChaosSpec {
+  Point point = Point::kWireTx;
+  Action action = Action::kNone;
+  std::uint64_t arg = 0;  // delay/stall milliseconds
+
+  std::uint64_t nth = 1;       // 1-based hit that starts firing (0 = use prob)
+  std::uint32_t prob_num = 0;  // per-hit chance when nth == 0
+  std::uint32_t prob_den = 1;
+  std::uint64_t count = 1;  // max injections for this directive (0 = no cap)
+
+  Role role = Role::kAny;
+  bool has_generation = false;
+  std::uint32_t generation = 0;  // fire only in this worker incarnation
+
+  int line = 0;  // source line, for diagnostics
+
+  /// Deterministic one-line rendering (used by the digest, logs and tests).
+  std::string describe() const;
+};
+
+struct ChaosPlan {
+  std::vector<ChaosSpec> entries;
+
+  bool empty() const { return entries.empty(); }
+
+  /// Stable 16-hex-digit FNV-1a digest over the canonical rendering of every
+  /// entry (not source line numbers). Same contract as FaultPlan::digest():
+  /// equal digests + equal chaos seed => identical injections. Empty plans
+  /// digest to "".
+  std::string digest() const;
+};
+
+/// Parses a whole chaos plan: directives separated by newlines or ';',
+/// '#' comments to end of line. Throws ChaosPlanError on malformed input,
+/// including an action that does not belong to its point.
+ChaosPlan parse_plan(std::string_view text);
+
+/// The decision a fault point acts on. Contextual meaning of `arg`:
+/// milliseconds for kDelay/kStall, the payload byte index for kCorrupt.
+struct Injection {
+  Action action = Action::kNone;
+  std::uint64_t arg = 0;
+  explicit operator bool() const { return action != Action::kNone; }
+};
+
+/// One injection, for the engine's log.
+struct ChaosRecord {
+  Point point = Point::kWireTx;
+  Action action = Action::kNone;
+  std::uint64_t hit = 0;  // per-point hit counter value that fired
+  std::string text;       // deterministic description
+};
+
+class ChaosEngine {
+ public:
+  /// `seed` is the campaign --chaos-seed; role/worker_id/generation salt it
+  /// so every process in a campaign draws an independent deterministic
+  /// stream. The plan is copied.
+  ChaosEngine(ChaosPlan plan, std::uint64_t seed, Role role = Role::kBroker,
+              std::uint32_t worker_id = 0, std::uint32_t generation = 0);
+  ~ChaosEngine();
+
+  ChaosEngine(const ChaosEngine&) = delete;
+  ChaosEngine& operator=(const ChaosEngine&) = delete;
+
+  // --- observability (both optional) ---
+  /// Every injection bumps `chaos.injected` plus a per-point-action counter
+  /// (`chaos.<point>.<action>`). Pass nullptr to detach.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  /// Every injection is traced as a `chaos_injected` event. The writer is
+  /// only ever used under the engine's own mutex. Pass nullptr to detach.
+  void set_trace(obs::TraceWriter* trace);
+
+  /// Called by chaos::at() on every probe of `point`. Thread-safe. `extent`
+  /// sizes kCorrupt's byte-index draw (0 disables corruption this probe).
+  Injection decide(Point point, std::uint64_t extent = 0);
+
+  /// Total injections so far (all directives).
+  std::uint64_t injected_count() const;
+  /// Probe count seen for one point.
+  std::uint64_t hit_count(Point point) const;
+  /// Detailed records of every injection, in order.
+  std::vector<ChaosRecord> log() const;
+
+  const ChaosPlan& plan() const { return plan_; }
+  Role role() const { return role_; }
+
+  /// Installs `engine` as the process-global chaos engine probed by
+  /// chaos::at(); nullptr uninstalls. The caller keeps ownership and must
+  /// uninstall before destroying the engine (the destructor also
+  /// self-uninstalls as a backstop). Not reentrant with concurrent probes
+  /// of a *different* engine; campaigns install once before running.
+  static void install(ChaosEngine* engine);
+  static ChaosEngine* installed() {
+    return installed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  ChaosPlan plan_;
+  std::uint64_t seed_;
+  Role role_;
+  std::uint32_t generation_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t hits_[kPointCount] = {};
+  std::vector<std::uint64_t> fired_;  // per-directive injection counts
+  std::uint64_t injected_ = 0;
+  std::vector<ChaosRecord> log_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_injected_ = nullptr;
+  obs::TraceWriter* trace_ = nullptr;
+
+  static std::atomic<ChaosEngine*> installed_;
+};
+
+/// The fault-point probe. Near-zero cost when no engine is installed: one
+/// relaxed-ish load and a predictable branch.
+inline Injection at(Point point, std::uint64_t extent = 0) {
+  ChaosEngine* engine = ChaosEngine::installed();
+  if (engine == nullptr) return {};
+  return engine->decide(point, extent);
+}
+
+// --- broker -> worker propagation ----------------------------------------
+
+inline constexpr const char* kPlanEnv = "ESV_CHAOS_PLAN";
+inline constexpr const char* kSeedEnv = "ESV_CHAOS_SEED";
+
+/// Installs a worker-role engine from ESV_CHAOS_PLAN / ESV_CHAOS_SEED when
+/// both are set (the engine is owned by a process-lifetime static). Returns
+/// the installed engine or nullptr. A malformed env plan is ignored — the
+/// orchestrator validated the plan before forwarding it, so skew here means
+/// a harness bug, and a worker must not crash-loop over it.
+ChaosEngine* install_from_env(std::uint32_t worker_id,
+                              std::uint32_t generation);
+
+}  // namespace esv::chaos

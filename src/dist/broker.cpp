@@ -9,19 +9,24 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "campaign/seed_runner.hpp"
+#include "chaos/chaos.hpp"
+#include "common/rng.hpp"
 #include "dist/protocol.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -43,6 +48,8 @@ struct WorkerSlot {
   bool kill_sent = false;  // SIGKILL already delivered this incarnation
   bool retired = false;    // respawn budget exhausted; stays down
   unsigned respawns = 0;
+  bool spawn_pending = false;  // respawn scheduled, waiting out the backoff
+  Clock::time_point spawn_at{};
 
   int fd = -1;
   bool connected = false;
@@ -50,6 +57,7 @@ struct WorkerSlot {
   /// Seed *indices* dispatched to this incarnation and not yet resulted.
   std::deque<std::uint64_t> assigned;
   Clock::time_point last_seen{};
+  Clock::time_point last_assign{};  // rate-limits lost-ASSIGN re-sends
 };
 
 struct PendingConn {
@@ -62,7 +70,9 @@ class Broker {
   Broker(const campaign::CampaignConfig& config, const BrokerOptions& options)
       : config_(config),
         options_(options),
-        setup_(campaign::prepare_campaign(config)) {
+        setup_(campaign::prepare_campaign(config)),
+        backoff_rng_(options.backoff_seed),
+        chaos_seed_text_(std::to_string(options.chaos_seed)) {
     // MSG_NOSIGNAL only covers send(); a worker vanishing between poll() and
     // any other write path would still raise SIGPIPE and kill the broker.
     // Ignoring it process-wide turns every such race into a clean WireError.
@@ -124,12 +134,22 @@ class Broker {
 
   campaign::CampaignReport run() {
     Clock::time_point start = Clock::now();
+    last_progress_ = start;
+    if (config_.campaign_timeout_seconds > 0.0) {
+      deadline_active_ = true;
+      deadline_tp_ = start + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     config_.campaign_timeout_seconds));
+    }
     // A fully resumed campaign has nothing left to dispatch: don't spawn.
     if (filled_count_ < count_) {
       for (WorkerSlot& slot : slots_) spawn(slot);
       event_loop();
     }
     shutdown_workers();
+    // Only a deadline abort leaves slots unfilled past the event loop
+    // (abandonment and degradation both fill every slot).
+    if (filled_count_ < count_) fill_deadline_errors();
 
     report_.distributed = true;
     report_.workers = workers_;
@@ -213,6 +233,16 @@ class Broker {
       return;
     }
     if (pid == 0) {
+      // Self-chaos propagation: the plan rides the environment, salted on
+      // the worker side by id and generation. A chaos-free campaign scrubs
+      // the variables so nothing leaks in from the test environment.
+      if (!options_.chaos_plan_text.empty()) {
+        ::setenv(chaos::kPlanEnv, options_.chaos_plan_text.c_str(), 1);
+        ::setenv(chaos::kSeedEnv, chaos_seed_text_.c_str(), 1);
+      } else {
+        ::unsetenv(chaos::kPlanEnv);
+        ::unsetenv(chaos::kSeedEnv);
+      }
       std::string connect_arg = "--connect=" + sock_path_;
       std::string id_arg = "--id=" + std::to_string(slot.id);
       std::string gen_arg = "--generation=" + std::to_string(slot.generation);
@@ -223,6 +253,7 @@ class Broker {
     slot.pid = pid;
     slot.alive = true;
     slot.kill_sent = false;
+    slot.spawn_pending = false;
     slot.connected = false;
     slot.fd = -1;
     slot.reader = FrameReader();
@@ -294,7 +325,11 @@ class Broker {
       if (filled_[index]) continue;
       ++crash_count_[index];
       if (crash_count_[index] <= config_.seed_retries) {
-        pending_.push_front(index);
+        // Backed-off re-dispatch: a seed that just took a worker down waits
+        // out an exponential delay before landing on the next one, so a
+        // poison seed cannot saw through the whole fleet in one poll cycle.
+        deferred_.push_back(
+            {Clock::now() + backoff_delay(crash_count_[index] - 1), index});
         metrics_.counter("dist.redispatched_seeds").add();
       } else {
         abandon(index,
@@ -303,14 +338,88 @@ class Broker {
       }
     }
     slot.assigned.clear();
-    if (filled_count_ >= count_) return;
+    if (filled_count_ >= count_ && deferred_.empty()) return;
     if (slot.respawns >= options_.max_respawns) {
       slot.retired = true;
       return;
     }
     ++slot.respawns;
     ++slot.generation;
-    spawn(slot);
+    slot.spawn_pending = true;
+    slot.spawn_at = Clock::now() + backoff_delay(slot.respawns - 1);
+  }
+
+  /// Exponential backoff with deterministic jitter (docs/RESILIENCE.md):
+  /// base * 2^attempt capped at the ceiling, scaled into [50%, 100%] by a
+  /// draw from the broker's private backoff Rng.
+  Clock::duration backoff_delay(unsigned attempt) {
+    double delay = options_.backoff_base_seconds;
+    for (unsigned i = 0; i < attempt; ++i) {
+      if (delay >= options_.backoff_cap_seconds) break;
+      delay *= 2.0;
+    }
+    if (delay > options_.backoff_cap_seconds) {
+      delay = options_.backoff_cap_seconds;
+    }
+    if (delay < 0.0) delay = 0.0;
+    delay *= 0.5 +
+             0.5 * (static_cast<double>(backoff_rng_.next_below(1024)) /
+                    1024.0);
+    metrics_.duration_histogram("dist.backoff_ms")
+        .record(static_cast<std::uint64_t>(delay * 1000.0));
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(delay));
+  }
+
+  /// Moves due re-dispatches from the backoff bench to the pending queue.
+  void promote_deferred() {
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < deferred_.size();) {
+      if (deferred_[i].first <= now) {
+        pending_.push_front(deferred_[i].second);
+        deferred_[i] = deferred_.back();
+        deferred_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  /// Spawns slots whose respawn backoff has elapsed.
+  void maybe_respawn() {
+    if (draining_) return;
+    const Clock::time_point now = Clock::now();
+    for (WorkerSlot& slot : slots_) {
+      if (slot.spawn_pending && now >= slot.spawn_at) spawn(slot);
+    }
+  }
+
+  /// Progress watchdog (BrokerOptions::progress_timeout_seconds): seeds are
+  /// booked but no RESULT has landed anywhere for a full window — kill every
+  /// worker holding seeds and let the crash path recover the work. This is
+  /// the backstop for losses heartbeats cannot see.
+  void check_progress() {
+    if (options_.progress_timeout_seconds <= 0.0) return;
+    bool outstanding = false;
+    for (const WorkerSlot& slot : slots_) {
+      outstanding |= !slot.assigned.empty();
+    }
+    if (!outstanding) {
+      last_progress_ = Clock::now();
+      return;
+    }
+    if (seconds_since(last_progress_) < options_.progress_timeout_seconds) {
+      return;
+    }
+    for (WorkerSlot& slot : slots_) {
+      if (!slot.alive || slot.kill_sent || slot.assigned.empty()) continue;
+      metrics_.counter("dist.progress_timeouts").add();
+      events_.worker_event("progress_timeout", slot.id, slot.generation,
+                           std::to_string(slot.assigned.size()) +
+                               " seeds outstanding with no campaign progress");
+      kill_slot(slot);
+    }
+    last_progress_ = Clock::now();
   }
 
   // --- scheduling --------------------------------------------------------
@@ -326,7 +435,7 @@ class Broker {
       return false;
     }
     metrics_.counter("dist.frames_tx").add();
-    metrics_.counter("dist.bytes_tx").add(payload.size() + 4);
+    metrics_.counter("dist.bytes_tx").add(payload.size() + kFrameHeaderBytes);
     return true;
   }
 
@@ -378,6 +487,7 @@ class Broker {
 
     if (!seeds.empty()) {
       metrics_.counter("dist.assign_frames").add();
+      slot.last_assign = Clock::now();
       send_to(slot, make_assign(seeds));
     }
   }
@@ -424,13 +534,14 @@ class Broker {
     report_.seeds[index] = std::move(result);
     filled_[index] = 1;
     ++filled_count_;
+    last_progress_ = Clock::now();
     metrics_.counter("dist.results_rx").add();
   }
 
   void handle_frame(WorkerSlot& slot, const std::string& payload) {
     slot.last_seen = Clock::now();
     metrics_.counter("dist.frames_rx").add();
-    metrics_.counter("dist.bytes_rx").add(payload.size() + 4);
+    metrics_.counter("dist.bytes_rx").add(payload.size() + kFrameHeaderBytes);
     Frame frame;
     try {
       frame = parse_frame(payload);
@@ -448,11 +559,32 @@ class Broker {
         } catch (const WireError&) {
         }
         break;
-      case FrameKind::kHeartbeat:
+      case FrameKind::kHeartbeat: {
         metrics_.counter("dist.heartbeats_rx").add();
-        metrics_.duration_histogram("dist.worker_queue_depth")
-            .record(frame.body.u64_or("queued", 0));
+        const std::uint64_t queued = frame.body.u64_or("queued", 0);
+        metrics_.duration_histogram("dist.worker_queue_depth").record(queued);
+        // Lost-ASSIGN recovery: the worker says it is completely idle, yet
+        // seeds are booked to this incarnation — an ASSIGN never arrived.
+        // Re-send the booking (rate limited); duplicate RESULTs are deduped,
+        // so a merely-slow worker costs a redundant computation, never a
+        // wrong report.
+        if (!draining_ && queued == 0 && frame.body.u64_or("busy", 0) == 0 &&
+            !slot.assigned.empty() && options_.reassign_after_seconds > 0.0 &&
+            seconds_since(slot.last_assign) >=
+                options_.reassign_after_seconds) {
+          std::vector<std::uint64_t> seeds;
+          for (std::uint64_t index : slot.assigned) {
+            seeds.push_back(config_.seed_lo + index);
+          }
+          metrics_.counter("dist.reassigns").add();
+          events_.worker_event("reassign", slot.id, slot.generation,
+                               std::to_string(seeds.size()) +
+                                   " booked seeds re-sent to an idle worker");
+          slot.last_assign = Clock::now();
+          send_to(slot, make_assign(seeds));
+        }
         break;
+      }
       default:
         break;  // late HELLO / broker-bound kinds: nothing to do
     }
@@ -463,14 +595,19 @@ class Broker {
   /// delivers the buffered bytes and then EOF.
   void drain_fd(WorkerSlot& slot) {
     char buf[65536];
-    for (;;) {
-      ssize_t n = ::recv(slot.fd, buf, sizeof buf, 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) break;
-      slot.reader.feed(buf, static_cast<std::size_t>(n));
-      while (std::optional<std::string> payload = slot.reader.next()) {
-        handle_frame(slot, *payload);
+    try {
+      for (;;) {
+        ssize_t n = ::recv(slot.fd, buf, sizeof buf, 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        slot.reader.feed(buf, static_cast<std::size_t>(n));
+        while (std::optional<std::string> payload = slot.reader.next()) {
+          handle_frame(slot, *payload);
+        }
       }
+    } catch (const WireError&) {
+      // Corrupt tail on a dead worker's stream: stop salvaging; the seeds
+      // it still held re-dispatch through the normal crash path.
     }
   }
 
@@ -532,7 +669,14 @@ class Broker {
       return;
     }
     conn.reader.feed(buf, static_cast<std::size_t>(n));
-    std::optional<std::string> payload = conn.reader.next();
+    std::optional<std::string> payload;
+    try {
+      payload = conn.reader.next();
+    } catch (const WireError&) {
+      ::close(conn.fd);  // corrupt pre-HELLO stream: drop the connection
+      conn.fd = -1;
+      return;
+    }
     if (!payload) return;
     try {
       Frame frame = parse_frame(*payload);
@@ -559,9 +703,19 @@ class Broker {
       return;
     }
     slot.reader.feed(buf, static_cast<std::size_t>(n));
-    while (std::optional<std::string> payload = slot.reader.next()) {
-      handle_frame(slot, *payload);
-      if (!slot.connected) break;  // handle_frame killed the incarnation
+    try {
+      while (std::optional<std::string> payload = slot.reader.next()) {
+        handle_frame(slot, *payload);
+        if (!slot.connected) break;  // handle_frame killed the incarnation
+      }
+    } catch (const WireError&) {
+      // Framing-level corruption (oversized length or a CRC mismatch): the
+      // stream cannot be resynchronized, so the incarnation is killed and
+      // its seeds recovered whole through the crash path.
+      ::close(slot.fd);
+      slot.fd = -1;
+      slot.connected = false;
+      kill_slot(slot);
     }
   }
 
@@ -603,16 +757,107 @@ class Broker {
     while (filled_count_ < count_) {
       reap_workers();
       check_timeouts();
+      check_progress();
+      promote_deferred();
+      maybe_respawn();
       if (filled_count_ >= count_) break;
+      if (deadline_active_ && Clock::now() >= deadline_tp_) {
+        // Structured deadline abort: stop dispatching, shut the fleet down,
+        // and let run() capture the unfinished seeds deterministically.
+        metrics_.counter("dist.deadline_aborts").add();
+        events_.campaign_event(
+            "deadline", std::to_string(count_ - filled_count_) +
+                            " seeds unfinished at --campaign-timeout");
+        report_.deadline_exceeded = true;
+        break;
+      }
       bool any_alive = false;
-      for (const WorkerSlot& slot : slots_) any_alive |= slot.alive;
-      if (!any_alive) {
-        abandon_remaining(
-            "no live workers remain (respawn budget exhausted)");
+      bool any_scheduled = false;
+      for (const WorkerSlot& slot : slots_) {
+        any_alive |= slot.alive;
+        any_scheduled |= slot.spawn_pending;
+      }
+      if (!any_alive && !any_scheduled) {
+        if (options_.degrade_in_process) {
+          degrade_in_process();
+        } else {
+          abandon_remaining(
+              "no live workers remain (respawn budget exhausted)");
+        }
         break;
       }
       for (WorkerSlot& slot : slots_) top_up(slot);
-      poll_io(100);
+      // Tighten the poll when a backoff timer (re-dispatch or respawn) is
+      // pending so due timers fire promptly.
+      poll_io(!deferred_.empty() || any_scheduled ? 10 : 100);
+    }
+  }
+
+  /// Graceful degradation (docs/RESILIENCE.md): every worker slot is dead
+  /// with no respawn budget left, so the remaining seeds finish in-process
+  /// on jobs_ threads through the same SeedRunner path the workers use. The
+  /// per-seed results are identical by construction; only the operational
+  /// `degraded` flag and the timing section differ from a healthy run.
+  void degrade_in_process() {
+    report_.degraded = true;
+    metrics_.counter("dist.degradations").add();
+    std::vector<std::uint64_t> remaining;
+    for (std::uint64_t index = 0; index < count_; ++index) {
+      if (!filled_[index]) remaining.push_back(index);
+    }
+    events_.campaign_event(
+        "degraded", std::to_string(remaining.size()) +
+                        " seeds moved in-process (no live workers remain "
+                        "and the respawn budget is spent)");
+    pending_.clear();
+    deferred_.clear();
+    if (remaining.empty()) return;
+    std::atomic<std::size_t> cursor{0};
+    std::mutex mutex;
+    const unsigned threads = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, remaining.size()));
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        campaign::SeedRunner runner(wire_config_, setup_);
+        for (;;) {
+          const std::size_t at = cursor.fetch_add(1);
+          if (at >= remaining.size()) return;
+          if (deadline_active_ && Clock::now() >= deadline_tp_) return;
+          const std::uint64_t index = remaining[at];
+          campaign::SeedResult result =
+              runner.run_seed(config_.seed_lo + index);
+          std::lock_guard<std::mutex> lock(mutex);
+          if (filled_[index]) continue;
+          if (config_.on_result) config_.on_result(result);
+          report_.seeds[index] = std::move(result);
+          filled_[index] = 1;
+          ++filled_count_;
+        }
+      });
+    }
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  /// Deterministic captures for seeds a deadline abort left unfinished.
+  /// These are never journaled (the resume path should recompute them) and
+  /// carry error_kind "infrastructure" like abandonment.
+  void fill_deadline_errors() {
+    report_.deadline_exceeded = true;
+    for (std::uint64_t index = 0; index < count_; ++index) {
+      if (filled_[index]) continue;
+      campaign::SeedResult result;
+      result.seed = config_.seed_lo + index;
+      result.error =
+          "campaign: wall-clock deadline exceeded (--campaign-timeout)";
+      result.error_kind = "infrastructure";
+      result.attempts = std::max(1u, crash_count_[index]);
+      result.fault_plan_digest = setup_.plan_digest;
+      report_.seeds[index] = std::move(result);
+      filled_[index] = 1;
+      ++filled_count_;
+      metrics_.counter("dist.deadline_seeds").add();
     }
   }
 
@@ -673,10 +918,18 @@ class Broker {
   std::vector<WorkerSlot> slots_;
   std::vector<PendingConn> pending_conns_;
   std::deque<std::uint64_t> pending_;  // undispatched seed indices
+  /// Crashed-seed re-dispatches waiting out their backoff: (due, index).
+  std::vector<std::pair<Clock::time_point, std::uint64_t>> deferred_;
   std::vector<char> filled_;
   std::vector<unsigned> crash_count_;  // crashes while the seed was in flight
   std::uint64_t filled_count_ = 0;
   bool draining_ = false;
+
+  common::Rng backoff_rng_;
+  std::string chaos_seed_text_;
+  Clock::time_point last_progress_{};  // progress-watchdog anchor
+  bool deadline_active_ = false;
+  Clock::time_point deadline_tp_{};
 
   obs::MetricsRegistry metrics_;
   obs::MetricsSnapshot worker_metrics_;

@@ -27,7 +27,8 @@
 
 namespace esv::dist {
 
-constexpr std::uint64_t kProtocolVersion = 1;
+// Version 2 added the payload CRC-32 to the frame header (wire.hpp).
+constexpr std::uint64_t kProtocolVersion = 2;
 
 enum class FrameKind {
   kHello,

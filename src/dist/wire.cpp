@@ -3,10 +3,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstring>
 #include <sstream>
+#include <thread>
+
+#include "chaos/chaos.hpp"
 
 namespace esv::dist {
 
@@ -345,7 +350,33 @@ std::string json_string(std::string_view text) {
 
 namespace {
 
-std::uint32_t decode_length(const char* bytes) {
+// CRC-32 (IEEE 802.3, reflected, init/final-xor 0xFFFFFFFF) — the same
+// function as journal::crc32, duplicated here because the journal layer
+// links *on top of* the wire layer.
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+std::uint32_t frame_crc32(const char* data, std::size_t size) {
+  static const Crc32Table table;
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^
+          table.entries[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t decode_u32(const char* bytes) {
   return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[0])) |
          static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[1])) << 8 |
          static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[2]))
@@ -354,20 +385,33 @@ std::uint32_t decode_length(const char* bytes) {
              << 24;
 }
 
-void encode_length(std::uint32_t length, char* bytes) {
-  bytes[0] = static_cast<char>(length & 0xFF);
-  bytes[1] = static_cast<char>((length >> 8) & 0xFF);
-  bytes[2] = static_cast<char>((length >> 16) & 0xFF);
-  bytes[3] = static_cast<char>((length >> 24) & 0xFF);
+void encode_u32(std::uint32_t value, char* bytes) {
+  bytes[0] = static_cast<char>(value & 0xFF);
+  bytes[1] = static_cast<char>((value >> 8) & 0xFF);
+  bytes[2] = static_cast<char>((value >> 16) & 0xFF);
+  bytes[3] = static_cast<char>((value >> 24) & 0xFF);
+}
+
+// Per-syscall transfer cap (set_io_chunk_limit_for_test); 0 = unlimited.
+std::atomic<std::size_t> io_chunk_limit{0};
+
+std::size_t chunked(std::size_t size) {
+  const std::size_t limit = io_chunk_limit.load(std::memory_order_relaxed);
+  return limit != 0 && limit < size ? limit : size;
 }
 
 void send_all(int fd, const char* data, std::size_t size) {
   while (size != 0) {
-    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    const ssize_t sent = ::send(fd, data, chunked(size), MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
       throw WireError(std::string("wire: send failed: ") +
                       std::strerror(errno));
+    }
+    if (sent == 0) {
+      // Cannot happen for a SOCK_STREAM send of size > 0, but if it ever
+      // did, looping forever would be the worst possible response.
+      throw WireError("wire: send made no progress");
     }
     data += sent;
     size -= static_cast<std::size_t>(sent);
@@ -377,7 +421,7 @@ void send_all(int fd, const char* data, std::size_t size) {
 bool recv_all(int fd, char* data, std::size_t size) {
   std::size_t got = 0;
   while (got < size) {
-    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    const ssize_t n = ::recv(fd, data + got, chunked(size - got), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw WireError(std::string("wire: recv failed: ") +
@@ -392,22 +436,35 @@ bool recv_all(int fd, char* data, std::size_t size) {
   return true;
 }
 
+void check_frame_crc(const char* payload, std::uint32_t length,
+                     std::uint32_t expected) {
+  if (frame_crc32(payload, length) != expected) {
+    throw WireError("wire: frame crc mismatch (stream corruption)");
+  }
+}
+
 }  // namespace
+
+void set_io_chunk_limit_for_test(std::size_t bytes) {
+  io_chunk_limit.store(bytes, std::memory_order_relaxed);
+}
 
 void FrameReader::feed(const char* data, std::size_t size) {
   buffer_.append(data, size);
 }
 
 std::optional<std::string> FrameReader::next() {
-  if (buffer_.size() < 4) return std::nullopt;
-  const std::uint32_t length = decode_length(buffer_.data());
+  if (buffer_.size() < kFrameHeaderBytes) return std::nullopt;
+  const std::uint32_t length = decode_u32(buffer_.data());
   if (length > kMaxFramePayload) {
     throw WireError("wire: frame length " + std::to_string(length) +
                     " exceeds the protocol maximum");
   }
-  if (buffer_.size() < 4u + length) return std::nullopt;
-  std::string payload = buffer_.substr(4, length);
-  buffer_.erase(0, 4u + length);
+  if (buffer_.size() < kFrameHeaderBytes + length) return std::nullopt;
+  const std::uint32_t expected_crc = decode_u32(buffer_.data() + 4);
+  check_frame_crc(buffer_.data() + kFrameHeaderBytes, length, expected_crc);
+  std::string payload = buffer_.substr(kFrameHeaderBytes, length);
+  buffer_.erase(0, kFrameHeaderBytes + length);
   return payload;
 }
 
@@ -415,21 +472,52 @@ void write_frame(int fd, std::string_view payload) {
   if (payload.size() > kMaxFramePayload) {
     throw WireError("wire: frame payload too large");
   }
-  char header[4];
-  encode_length(static_cast<std::uint32_t>(payload.size()), header);
+  char header[kFrameHeaderBytes];
+  encode_u32(static_cast<std::uint32_t>(payload.size()), header);
+  encode_u32(frame_crc32(payload.data(), payload.size()), header + 4);
   // One buffered send per frame so concurrent writers (worker threads and
   // the heartbeat) interleave at frame granularity under their send mutex.
   std::string frame;
-  frame.reserve(4 + payload.size());
-  frame.append(header, 4);
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.append(header, kFrameHeaderBytes);
   frame.append(payload);
+
+  if (const chaos::Injection injection =
+          chaos::at(chaos::Point::kWireTx, payload.size())) {
+    switch (injection.action) {
+      case chaos::Action::kDrop:
+        return;  // the frame vanishes in flight
+      case chaos::Action::kTruncate:
+        send_all(fd, frame.data(), frame.size() / 2);
+        return;
+      case chaos::Action::kCorrupt:
+        // Flip a payload byte; the header CRC still covers the original
+        // bytes, so the receiver must detect this.
+        frame[kFrameHeaderBytes + injection.arg] =
+            static_cast<char>(frame[kFrameHeaderBytes + injection.arg] ^ 0x20);
+        break;
+      case chaos::Action::kDuplicate:
+        send_all(fd, frame.data(), frame.size());
+        break;  // falls through to the normal (second) send
+      case chaos::Action::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(injection.arg));
+        break;
+      case chaos::Action::kShortSend:
+        for (std::size_t i = 0; i < frame.size(); ++i) {
+          send_all(fd, frame.data() + i, 1);
+        }
+        return;
+      default:
+        break;
+    }
+  }
   send_all(fd, frame.data(), frame.size());
 }
 
 std::optional<std::string> read_frame(int fd) {
-  char header[4];
-  if (!recv_all(fd, header, 4)) return std::nullopt;
-  const std::uint32_t length = decode_length(header);
+  char header[kFrameHeaderBytes];
+  if (!recv_all(fd, header, kFrameHeaderBytes)) return std::nullopt;
+  const std::uint32_t length = decode_u32(header);
   if (length > kMaxFramePayload) {
     throw WireError("wire: frame length " + std::to_string(length) +
                     " exceeds the protocol maximum");
@@ -438,6 +526,7 @@ std::optional<std::string> read_frame(int fd) {
   if (length != 0 && !recv_all(fd, payload.data(), length)) {
     throw WireError("wire: EOF inside a frame");
   }
+  check_frame_crc(payload.data(), length, decode_u32(header + 4));
   return payload;
 }
 

@@ -5,7 +5,10 @@
 //     must round-trip them losslessly (uint64-exact numbers, escaped
 //     strings), which rules out double-based general-purpose parsers
 //   * length-prefixed framing: every frame is a 4-byte little-endian payload
-//     length followed by one JSON object ("length-prefixed JSONL")
+//     length, a 4-byte little-endian CRC-32 of the payload, then one JSON
+//     object. The CRC turns any in-flight byte corruption into a WireError —
+//     a killed worker incarnation and a re-dispatched seed — instead of a
+//     silently wrong result (docs/RESILIENCE.md)
 //   * lossless serialization of the domain types that cross the process
 //     boundary: CampaignConfig (broker -> worker), SeedResult and
 //     MetricsSnapshot (worker -> broker)
@@ -84,6 +87,15 @@ std::string json_string(std::string_view text);
 /// Hard ceiling on a single frame; a length beyond this is treated as stream
 /// corruption rather than an allocation request.
 constexpr std::uint32_t kMaxFramePayload = 256u * 1024u * 1024u;
+
+/// Frame header: u32 little-endian payload length + u32 little-endian
+/// payload CRC-32 (same polynomial as journal::crc32).
+constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Test/chaos seam: caps the byte count of every send(2)/recv(2) syscall so
+/// the partial-transfer reassembly paths run deterministically under test.
+/// 0 (the default) restores unlimited transfers. Not for production use.
+void set_io_chunk_limit_for_test(std::size_t bytes);
 
 /// Incremental frame decoder for poll()-driven readers: feed() raw bytes,
 /// next() pops complete payloads.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "campaign/seed_runner.hpp"
+#include "chaos/chaos.hpp"
 #include "dist/protocol.hpp"
 #include "obs/metrics.hpp"
 
@@ -50,7 +51,8 @@ void send_payload(WorkerState& state, const std::string& payload) {
   std::lock_guard<std::mutex> lock(state.send_mutex);
   write_frame(state.fd, payload);
   state.metrics.counter("dist.worker.frames_tx").add();
-  state.metrics.counter("dist.worker.bytes_tx").add(payload.size() + 4);
+  state.metrics.counter("dist.worker.bytes_tx")
+      .add(payload.size() + kFrameHeaderBytes);
 }
 
 /// Test hook: ESV_WORKER_TEST_CRASH_SEED=<seed> makes a generation-0 worker
@@ -184,6 +186,18 @@ void compute_loop(WorkerState& state, const campaign::CampaignConfig& config,
     }
     state.busy.fetch_add(1, std::memory_order_relaxed);
     maybe_test_crash(state, seed);
+    // Self-chaos worker.seed point (docs/RESILIENCE.md): crash reproduces a
+    // real mid-seed death (the broker re-dispatches under --seed-retries);
+    // stall exercises the heartbeat-keeps-us-alive / progress-watchdog
+    // boundary without killing anything.
+    if (const chaos::Injection injection =
+            chaos::at(chaos::Point::kWorkerSeed)) {
+      if (injection.action == chaos::Action::kCrash) ::raise(SIGKILL);
+      if (injection.action == chaos::Action::kStall) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(injection.arg));
+      }
+    }
     campaign::SeedResult result;
     {
       SeedMemCeilingScope ceiling(mem_ceiling);
@@ -206,6 +220,15 @@ void heartbeat_loop(WorkerState& state) {
     {
       std::lock_guard<std::mutex> lock(state.queue_mutex);
       queued = state.queue.size();
+    }
+    // Self-chaos worker.heartbeat point: a late beat must at worst look like
+    // a silent worker to the broker (heartbeat timeout -> kill -> respawn),
+    // never corrupt anything.
+    if (const chaos::Injection injection =
+            chaos::at(chaos::Point::kWorkerHeartbeat)) {
+      if (injection.action == chaos::Action::kDelay) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(injection.arg));
+      }
     }
     try {
       send_payload(state, make_heartbeat(
@@ -250,6 +273,16 @@ int worker_main(int argc, char** argv) {
     return fail_usage("--connect and --id are required");
   }
 
+  // A broker that dies mid-read turns our next send into SIGPIPE; ignoring
+  // it here (not just in the esv-worker shim) means every embedding of
+  // worker_main converts a dead peer into a WireError and a structured exit
+  // instead of a signal death the broker would misread as a worker crash.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Self-chaos (docs/RESILIENCE.md): the broker forwards --chaos through the
+  // environment; injections here are salted by worker id and generation.
+  chaos::ChaosEngine* chaos_engine = chaos::install_from_env(id, generation);
+
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) return fail_usage("socket() failed");
   sockaddr_un addr{};
@@ -266,6 +299,9 @@ int worker_main(int argc, char** argv) {
   state.fd = fd;
   state.id = id;
   state.generation = generation;
+  // Worker-side chaos counters ride home in the final METRICS frame and
+  // surface under the report's operational "dist" block.
+  if (chaos_engine != nullptr) chaos_engine->set_metrics(&state.metrics);
 
   campaign::CampaignConfig config;
   try {
@@ -318,7 +354,8 @@ int worker_main(int argc, char** argv) {
     }
     if (!payload) std::_Exit(0);  // broker closed the stream
     state.metrics.counter("dist.worker.frames_rx").add();
-    state.metrics.counter("dist.worker.bytes_rx").add(payload->size() + 4);
+    state.metrics.counter("dist.worker.bytes_rx")
+        .add(payload->size() + kFrameHeaderBytes);
     Frame frame;
     try {
       frame = parse_frame(*payload);

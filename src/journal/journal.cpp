@@ -11,6 +11,7 @@
 #include <set>
 #include <sstream>
 
+#include "chaos/chaos.hpp"
 #include "dist/wire.hpp"
 
 namespace esv::journal {
@@ -109,6 +110,11 @@ std::string config_digest(const campaign::CampaignConfig& config) {
   digest.feed(timeout_text.str());
   digest.feed(static_cast<std::uint64_t>(config.seed_retries));
   digest.feed(config.seed_mem_limit_mb);
+  // Deliberately excluded: campaign_timeout_seconds and the chaos plan/seed
+  // (docs/RESILIENCE.md). Both are infrastructure-only — they can abort or
+  // perturb a run but never change a completed seed's bytes — so a journal
+  // cut short by a deadline or a chaos schedule must resume under a clean
+  // configuration.
   return digest.hex();
 }
 
@@ -213,8 +219,38 @@ void JournalWriter::write_record(const std::string& payload) {
   // writers of this fd, and a crash can tear at most the record in flight.
   const char* data = record.data();
   std::size_t left = record.size();
+  // Self-chaos (docs/RESILIENCE.md): kFailWrite tears the record exactly the
+  // way a crashed writer would — half the bytes land, then the write reports
+  // EIO — so the recovery scan's torn-tail path runs against a real file.
+  // kEnospc fails before any byte lands. kShortWrite degrades the loop to
+  // one-byte writes (it must still succeed byte-identically).
+  std::size_t chunk_cap = 0;
+  switch (chaos::at(chaos::Point::kJournalWrite).action) {
+    case chaos::Action::kFailWrite: {
+      const std::size_t half = record.size() / 2;
+      std::size_t wrote_total = 0;
+      while (wrote_total < half) {
+        const ssize_t wrote =
+            ::write(fd_, data + wrote_total, half - wrote_total);
+        if (wrote <= 0) break;  // best effort: the tear itself is the point
+        wrote_total += static_cast<std::size_t>(wrote);
+      }
+      errno = EIO;
+      io_error("write failed on", path_);
+    }
+    case chaos::Action::kEnospc:
+      errno = ENOSPC;
+      io_error("write failed on", path_);
+    case chaos::Action::kShortWrite:
+      chunk_cap = 1;
+      break;
+    default:
+      break;
+  }
   while (left != 0) {
-    const ssize_t wrote = ::write(fd_, data, left);
+    const std::size_t ask =
+        chunk_cap != 0 && chunk_cap < left ? chunk_cap : left;
+    const ssize_t wrote = ::write(fd_, data, ask);
     if (wrote < 0) {
       if (errno == EINTR) continue;
       io_error("write failed on", path_);
@@ -231,6 +267,11 @@ void JournalWriter::write_record(const std::string& payload) {
 }
 
 void JournalWriter::sync_now() {
+  if (chaos::at(chaos::Point::kJournalFsync).action ==
+      chaos::Action::kFailSync) {
+    errno = EIO;
+    io_error("fsync failed on", path_);
+  }
   if (::fsync(fd_) != 0) io_error("fsync failed on", path_);
   unsynced_records_ = 0;
 }

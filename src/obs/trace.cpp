@@ -98,6 +98,24 @@ void TraceWriter::fault(std::uint64_t step, std::string_view text) {
   append(line.str());
 }
 
+void TraceWriter::chaos_injected(std::string_view point,
+                                 std::string_view action, std::uint64_t hit,
+                                 std::string_view detail) {
+  std::ostringstream line;
+  line << "{\"type\":\"chaos_injected\",\"point\":\"";
+  escape_into(line, point);
+  line << "\",\"action\":\"";
+  escape_into(line, action);
+  line << "\",\"hit\":" << hit;
+  if (!detail.empty()) {
+    line << ",\"detail\":\"";
+    escape_into(line, detail);
+    line << "\"";
+  }
+  line << "}";
+  append(line.str());
+}
+
 void TraceWriter::handshake(std::uint64_t steps) {
   std::ostringstream line;
   line << "{\"type\":\"handshake\",\"steps\":" << steps << "}";
@@ -110,6 +128,21 @@ void TraceWriter::worker_event(std::string_view event, unsigned worker,
   line << "{\"type\":\"worker\",\"event\":\"";
   escape_into(line, event);
   line << "\",\"worker\":" << worker << ",\"generation\":" << generation;
+  if (!detail.empty()) {
+    line << ",\"detail\":\"";
+    escape_into(line, detail);
+    line << "\"";
+  }
+  line << "}";
+  append(line.str());
+}
+
+void TraceWriter::campaign_event(std::string_view event,
+                                 std::string_view detail) {
+  std::ostringstream line;
+  line << "{\"type\":\"campaign\",\"event\":\"";
+  escape_into(line, event);
+  line << "\"";
   if (!detail.empty()) {
     line << ",\"detail\":\"";
     escape_into(line, detail);

@@ -20,12 +20,17 @@
 //    "detail":"..."}   (compiled monitor disagreed with the interpreted
 //    oracle in --monitor-mode=both; docs/MONITORS.md)
 //   {"type":"fault","step":N,"text":"bitflip led bit 3"}
+//   {"type":"chaos_injected","point":"wire.tx","action":"drop","hit":N,
+//    "detail":"..."}   (self-chaos infrastructure fault; docs/RESILIENCE.md
+//    — operational, never part of the deterministic per-seed traces)
 //   {"type":"handshake","steps":N}
 //   {"type":"seed_end","seed":N,"steps":N,"validated":N,"violated":N,
 //    "pending":N}
 //   {"type":"worker","event":"spawn"|"exit"|"respawn"|"timeout",
 //    "worker":N,"generation":N,"detail":"..."}   (broker lifecycle trace —
 //    operational, never merged into the deterministic per-seed traces)
+//   {"type":"campaign","event":"deadline"|"degraded","detail":"..."}
+//    (campaign-level lifecycle; operational, like worker events)
 #pragma once
 
 #include <cstdint>
@@ -48,10 +53,16 @@ class TraceWriter {
   void monitor_divergence(std::uint64_t step, std::string_view property,
                           std::string_view detail);
   void fault(std::uint64_t step, std::string_view text);
+  /// Self-chaos infrastructure fault injection (docs/RESILIENCE.md).
+  void chaos_injected(std::string_view point, std::string_view action,
+                      std::uint64_t hit, std::string_view detail = {});
   void handshake(std::uint64_t steps);
   /// Worker lifecycle event (distributed campaigns; docs/DISTRIBUTED.md).
   void worker_event(std::string_view event, unsigned worker,
                     unsigned generation, std::string_view detail = {});
+  /// Campaign-level lifecycle event: deadline abort, degradation
+  /// (docs/RESILIENCE.md).
+  void campaign_event(std::string_view event, std::string_view detail = {});
   void seed_end(std::uint64_t seed, std::uint64_t steps,
                 std::uint64_t validated, std::uint64_t violated,
                 std::uint64_t pending);

@@ -220,19 +220,83 @@ TEST(DistBrokerTest, UnresolvableWorkerBinaryIsAConfigurationError) {
   EXPECT_THROW(run_distributed(config), std::invalid_argument);
 }
 
-TEST(DistBrokerTest, WorkerThatDiesOnStartupExhaustsRespawnsAndCompletes) {
+TEST(DistBrokerTest, WorkerThatDiesOnStartupDegradesToInProcess) {
+  // Graceful degradation (docs/RESILIENCE.md): every slot exhausts its
+  // respawn budget without ever connecting, so the broker finishes the
+  // seeds itself on --jobs threads — real results, not abandonment, and
+  // byte-identical to a healthy run.
+  const campaign::CampaignReport healthy =
+      run_distributed(blinker_config(1, 4, 2));
+
   campaign::CampaignConfig config = blinker_config(1, 4, 2);
   config.worker_binary = "/bin/false";  // executes, exits, never connects
   BrokerOptions options;
   options.max_respawns = 1;
   const campaign::CampaignReport report = run_distributed(config, options);
+  ASSERT_EQ(report.seeds.size(), 4u);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.error_seeds, 0u);
+  EXPECT_NE(report.dist_metrics.counters.at("dist.degradations"), 0u);
+  expect_same_deterministic_renderings(healthy, report);
+}
+
+TEST(DistBrokerTest, WorkerThatDiesOnStartupAbandonsWhenDegradationIsOff) {
+  campaign::CampaignConfig config = blinker_config(1, 4, 2);
+  config.worker_binary = "/bin/false";  // executes, exits, never connects
+  BrokerOptions options;
+  options.max_respawns = 1;
+  options.degrade_in_process = false;
+  const campaign::CampaignReport report = run_distributed(config, options);
   // Nothing hangs, nothing throws: every seed is an infrastructure error.
   ASSERT_EQ(report.seeds.size(), 4u);
   EXPECT_EQ(report.error_seeds, 4u);
+  EXPECT_FALSE(report.degraded);
   for (const campaign::SeedResult& seed : report.seeds) {
     EXPECT_EQ(seed.error_kind, "infrastructure");
   }
   EXPECT_NE(report.dist_metrics.counters.at("dist.abandoned_seeds"), 0u);
+}
+
+TEST(DistBrokerTest, CampaignDeadlineAbortsWithStructuredCaptures) {
+  campaign::CampaignConfig config = blinker_config(1, 64, 2);
+  config.campaign_timeout_seconds = 0.000001;  // expires immediately
+  const campaign::CampaignReport report = run_distributed(config);
+  EXPECT_TRUE(report.deadline_exceeded);
+  ASSERT_EQ(report.seeds.size(), 64u);
+  std::uint64_t deadline_seeds = 0;
+  for (const campaign::SeedResult& seed : report.seeds) {
+    if (seed.error.find("--campaign-timeout") != std::string::npos) {
+      EXPECT_EQ(seed.error_kind, "infrastructure");
+      ++deadline_seeds;
+    }
+  }
+  // The deadline fired before the fleet finished: at least one seed carries
+  // the deterministic deadline capture, and every slot is filled.
+  EXPECT_GE(deadline_seeds, 1u);
+  EXPECT_NE(report.dist_metrics.counters.count("dist.deadline_aborts"), 0u);
+}
+
+// SIGPIPE hardening (the worker ignores it at startup): a worker whose
+// broker socket vanishes mid-conversation must exit in a structured way,
+// not die of SIGPIPE. The broker path proves it end to end: kill the broker
+// side of the pair by finishing the campaign early while a straggler
+// respawned worker is still handshaking — covered implicitly above — so
+// here it is enough that a full campaign under worker churn never records
+// a SIGPIPE death (signal 13) in its worker-exit events.
+TEST(DistBrokerTest, WorkerChurnNeverDiesOfSigpipe) {
+  campaign::CampaignConfig config = blinker_config(1, 8, 2);
+  config.seed_retries = 1;
+  const std::string latch = testing::TempDir() + "esv_dist_sigpipe_latch_" +
+                            std::to_string(::getpid());
+  campaign::CampaignReport report;
+  {
+    CrashHookGuard guard(4, latch);
+    report = run_distributed(config);
+  }
+  ::unlink(latch.c_str());
+  EXPECT_EQ(report.dist_events_jsonl.find("killed by signal 13"),
+            std::string::npos);
+  EXPECT_EQ(report.error_seeds, 0u);
 }
 
 }  // namespace

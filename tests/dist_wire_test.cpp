@@ -6,9 +6,13 @@
 // without wire support shows up here, not as a silent campaign diff.
 #include <gtest/gtest.h>
 
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -94,7 +98,9 @@ TEST(DistFramingTest, ReadFrameSeesCleanEofAndMidFrameEof) {
   ::close(fds[1]);
 
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
-  const char truncated[] = {8, 0, 0, 0, 'h', 'a'};  // promises 8, sends 2
+  // 8-byte v2 header promising an 8-byte payload (CRC irrelevant — EOF hits
+  // first), but only 2 payload bytes arrive before the close.
+  const char truncated[] = {8, 0, 0, 0, 0, 0, 0, 0, 'h', 'a'};
   ASSERT_EQ(::send(fds[0], truncated, sizeof truncated, 0),
             static_cast<ssize_t>(sizeof truncated));
   ::close(fds[0]);
@@ -106,17 +112,104 @@ TEST(DistFramingTest, RejectsOversizedFrames) {
   int fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
   const std::uint32_t huge = kMaxFramePayload + 1;
-  char header[4] = {static_cast<char>(huge & 0xFF),
-                    static_cast<char>((huge >> 8) & 0xFF),
-                    static_cast<char>((huge >> 16) & 0xFF),
-                    static_cast<char>((huge >> 24) & 0xFF)};
-  ASSERT_EQ(::send(fds[0], header, 4, 0), 4);
+  char header[kFrameHeaderBytes] = {static_cast<char>(huge & 0xFF),
+                                    static_cast<char>((huge >> 8) & 0xFF),
+                                    static_cast<char>((huge >> 16) & 0xFF),
+                                    static_cast<char>((huge >> 24) & 0xFF),
+                                    0, 0, 0, 0};  // dummy CRC
+  ASSERT_EQ(::send(fds[0], header, sizeof header, 0),
+            static_cast<ssize_t>(sizeof header));
   EXPECT_THROW(read_frame(fds[1]), WireError);
   FrameReader reader;
-  reader.feed(header, 4);
+  reader.feed(header, sizeof header);
   EXPECT_THROW(reader.next(), WireError);
   ::close(fds[0]);
   ::close(fds[1]);
+}
+
+TEST(DistFramingTest, FrameCrcDetectsPayloadCorruption) {
+  // A frame whose payload is corrupted in transit must surface as a
+  // WireError, never as a silently different payload — the property the
+  // chaos engine's `wire.tx corrupt` action relies on.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  write_frame(fds[0], "{\"type\":\"shutdown\"}");
+  ::close(fds[0]);
+  std::string bytes;
+  char buf[256];
+  ssize_t n = 0;
+  while ((n = ::read(fds[1], buf, sizeof buf)) > 0) {
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fds[1]);
+  ASSERT_GT(bytes.size(), kFrameHeaderBytes);
+
+  bytes[kFrameHeaderBytes + 2] ^= 0x20;  // flip one payload byte
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  EXPECT_THROW(reader.next(), WireError);
+}
+
+TEST(DistFramingTest, ChunkedSyscallsStillDeliverWholeFrames) {
+  // Force every send()/recv() down to one byte per syscall: the short-write
+  // and short-read loops must reassemble the frame bit-for-bit.
+  set_io_chunk_limit_for_test(1);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = "{\"type\":\"shutdown\",\"pad\":\"pppp\"}";
+  write_frame(fds[0], payload);
+  ::close(fds[0]);
+  EXPECT_EQ(read_frame(fds[1]).value(), payload);
+  ::close(fds[1]);
+  set_io_chunk_limit_for_test(0);
+}
+
+TEST(DistFramingTest, SendAndRecvSurviveEintrStorm) {
+  // A no-SA_RESTART handler makes blocked send()/recv() actually return
+  // EINTR; the storm below proves both loops retry instead of tearing the
+  // frame (the worker heartbeat thread takes signals mid-send in practice).
+  struct sigaction action {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction previous {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int small_buffer = 4096;  // make the writer block mid-frame
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small_buffer,
+               sizeof small_buffer);
+
+  const std::string payload(1 << 20, 'z');
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    write_frame(fds[0], payload);
+    done.store(true);
+  });
+  std::thread storm([&] {
+    while (!done.load()) {
+      ::pthread_kill(writer.native_handle(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  FrameReader reader;
+  char buf[65536];
+  std::optional<std::string> got;
+  while (!got) {
+    ssize_t n = ::recv(fds[1], buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    ASSERT_GT(n, 0);
+    reader.feed(buf, static_cast<std::size_t>(n));
+    got = reader.next();
+  }
+  writer.join();
+  storm.join();
+  EXPECT_EQ(*got, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+  ::sigaction(SIGUSR1, &previous, nullptr);
 }
 
 // The broker serializes outbound frames per worker and workers serialize

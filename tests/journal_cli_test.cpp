@@ -335,6 +335,46 @@ TEST(JournalCliTest, ResumeOfAMissingJournalStartsFresh) {
   std::remove(resumed_report.c_str());
 }
 
+TEST(JournalCliTest, MonitorErrorsAreReplayedNotRerunOnResume) {
+  // --resume x --monitor-mode=both: a journaled "monitor"-kind error capture
+  // (compiled monitor diverged from the interpreted oracle) must be replayed
+  // from the journal, never re-run. The ESV_CAMPAIGN_TEST_DIVERGE_SEED hook
+  // forces the divergence only in the first run; if resume re-ran the seed
+  // it would now come back clean and the reports would differ.
+  const std::string journal = temp_path("monitor.journal");
+  const std::string first_report = temp_path("monitor_first.json");
+  const std::string resumed_report = temp_path("monitor_resumed.json");
+  std::remove(journal.c_str());
+
+  ::setenv("ESV_CAMPAIGN_TEST_DIVERGE_SEED", "5", 1);
+  const RunResult first =
+      run_cli(sample_args() +
+              " --campaign=1..12 --jobs=2 --monitor-mode=both --quiet" +
+              " --journal=" + journal + " --report=" + first_report +
+              " --report-timing=off");
+  ::unsetenv("ESV_CAMPAIGN_TEST_DIVERGE_SEED");
+  ASSERT_EQ(first.exit_code, 1) << first.output;
+  const std::string first_json = read_file(first_report);
+  ASSERT_NE(first_json.find("\"error_kind\": \"monitor\""), std::string::npos)
+      << first_json;
+  ASSERT_NE(first_json.find("monitor divergence"), std::string::npos);
+
+  const RunResult resumed =
+      run_cli(sample_args() +
+              " --campaign=1..12 --jobs=2 --monitor-mode=both" +
+              " --journal=" + journal + " --resume --report=" +
+              resumed_report + " --report-timing=off");
+  EXPECT_EQ(resumed.exit_code, 1) << resumed.output;
+  EXPECT_NE(resumed.output.find("journal: resumed 12 of 12"),
+            std::string::npos)
+      << resumed.output;
+  EXPECT_EQ(read_file(resumed_report), first_json);
+
+  std::remove(journal.c_str());
+  std::remove(first_report.c_str());
+  std::remove(resumed_report.c_str());
+}
+
 TEST(JournalCliTest, JournalFlagValidationExitsTwo) {
   struct Case {
     const char* flags;

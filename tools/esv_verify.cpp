@@ -43,14 +43,25 @@
 //     --resume             replay FILE, skip the seeds it already holds, and
 //                          re-run only the rest; the final report is byte-
 //                          identical to an uninterrupted run
+//     --campaign-timeout=SECS  whole-campaign wall-clock deadline: past it
+//                          the run aborts in a structured way (unfinished
+//                          seeds become deterministic infrastructure
+//                          captures, the report is flagged, exit 3)
+//     --chaos=PLAN         self-chaos (docs/RESILIENCE.md): PLAN is a chaos
+//                          plan file, or inline directives when no such
+//                          file exists; infrastructure faults are injected
+//                          deterministically into the wire, worker, and
+//                          journal layers of this run
+//     --chaos-seed=N       salt for the chaos schedule (default 1)
 //   In campaign mode --metrics writes the merged per-seed metrics (byte-
 //   identical for any --jobs and --workers); --vcd and --trace are
-//   single-run only, --workers/--trace-dir/--journal campaign-only.
+//   single-run only, --workers/--trace-dir/--journal/--chaos campaign-only.
 //
 // Exit code: 0 when no property is violated, 1 on violation (in campaign
 // mode: any violated or errored seed), 2 on usage or input errors, 3 when
 // the verification run itself fails at runtime (simulation or interpreter
-// error escaping the configured run).
+// error escaping the configured run) or a --campaign-timeout deadline
+// aborts the campaign.
 #include <charconv>
 #include <chrono>
 #include <cstdlib>
@@ -65,6 +76,7 @@
 #include <string>
 
 #include "campaign/campaign.hpp"
+#include "chaos/chaos.hpp"
 #include "journal/journal.hpp"
 #include "cpu/codegen.hpp"
 #include "dist/broker.hpp"
@@ -111,6 +123,10 @@ struct Options {
   journal::SyncPolicy journal_sync = journal::SyncPolicy::kBatch;
   bool journal_sync_given = false;
   bool resume = false;
+  double campaign_timeout = 0.0;
+  std::string chaos_spec;  // file path or inline plan text
+  std::uint64_t chaos_seed = 1;
+  bool chaos_seed_given = false;
 };
 
 bool parse_u64(std::string_view text, std::uint64_t& out) {
@@ -229,6 +245,28 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
       options.journal_sync_given = true;
     } else if (arg == "--resume") {
       options.resume = true;
+    } else if (value_of("--campaign-timeout=", value)) {
+      char* end = nullptr;
+      const double seconds = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          !(seconds >= 0.0)) {
+        error = "--campaign-timeout must be a non-negative number of seconds";
+        return false;
+      }
+      options.campaign_timeout = seconds;
+    } else if (value_of("--chaos=", value)) {
+      if (value.empty()) {
+        error = "--chaos expects a plan file or inline directives";
+        return false;
+      }
+      options.chaos_spec = value;
+    } else if (value_of("--chaos-seed=", value)) {
+      if (!parse_u64(value, number)) {
+        error = "--chaos-seed must be an integer";
+        return false;
+      }
+      options.chaos_seed = number;
+      options.chaos_seed_given = true;
     } else if (value_of("--seed-mem-limit=", value)) {
       if (!parse_u64(value, number) || number == 0) {
         error = "--seed-mem-limit must be a positive number of MiB";
@@ -311,6 +349,18 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
         "worker shard)";
     return false;
   }
+  if (!options.campaign && options.campaign_timeout != 0.0) {
+    error = "--campaign-timeout is only available in campaign mode";
+    return false;
+  }
+  if (!options.campaign && !options.chaos_spec.empty()) {
+    error = "--chaos is only available in campaign mode";
+    return false;
+  }
+  if (options.chaos_spec.empty() && options.chaos_seed_given) {
+    error = "--chaos-seed requires --chaos";
+    return false;
+  }
   options.program_path = positional[0];
   options.spec_path = positional[1];
   return true;
@@ -354,12 +404,42 @@ int main(int argc, char** argv) {
       config.seed_timeout_seconds = options.seed_timeout;
       config.seed_retries = options.seed_retries;
       config.seed_mem_limit_mb = options.seed_mem_limit;
+      config.campaign_timeout_seconds = options.campaign_timeout;
       config.trace_dir = options.trace_dir;
       config.workers = options.workers;
       // --report always carries the metrics block, so a report request is
       // enough to turn collection on.
       config.collect_metrics =
           !options.metrics_path.empty() || !options.report_path.empty();
+
+      // Self-chaos (docs/RESILIENCE.md). --chaos=PLAN names a plan file, or
+      // carries inline directives when no such file exists. Parse errors are
+      // configuration errors (exit 2). The orchestrator-side engine installs
+      // before the journal opens so the journal fault points cover the
+      // header write too; worker processes get their own engines through the
+      // environment the broker forwards.
+      std::string chaos_text;
+      if (!options.chaos_spec.empty()) {
+        std::ifstream chaos_in(options.chaos_spec);
+        if (chaos_in) {
+          std::ostringstream buffer;
+          buffer << chaos_in.rdbuf();
+          chaos_text = buffer.str();
+        } else {
+          chaos_text = options.chaos_spec;
+        }
+      }
+      std::unique_ptr<chaos::ChaosEngine> chaos_engine;
+      obs::MetricsRegistry chaos_metrics;
+      obs::TraceWriter chaos_events;
+      if (!chaos_text.empty()) {
+        chaos::ChaosPlan chaos_plan = chaos::parse_plan(chaos_text);
+        chaos_engine = std::make_unique<chaos::ChaosEngine>(
+            std::move(chaos_plan), options.chaos_seed, chaos::Role::kBroker);
+        chaos_engine->set_metrics(&chaos_metrics);
+        chaos_engine->set_trace(&chaos_events);
+        chaos::ChaosEngine::install(chaos_engine.get());
+      }
 
       // Preflight the metrics sink so an unwritable path is a configuration
       // error (exit 2) before any seed runs.
@@ -419,13 +499,23 @@ int main(int argc, char** argv) {
         };
       }
 
-      const campaign::CampaignReport report =
-          options.workers != 0 ? dist::run_distributed(config)
+      dist::BrokerOptions broker_options;
+      broker_options.chaos_plan_text = chaos_text;
+      broker_options.chaos_seed = options.chaos_seed;
+      campaign::CampaignReport report =
+          options.workers != 0 ? dist::run_distributed(config, broker_options)
                                : campaign::run(config);
       if (journal_writer) journal_writer->close();
+      if (chaos_engine) {
+        chaos::ChaosEngine::install(nullptr);
+        report.chaos_metrics = chaos_metrics.snapshot();
+        report.chaos_events_jsonl = chaos_events.text();
+      }
       if (!journal_error.empty()) {
         // The campaign finished, but its durability promise did not: treat a
-        // failed journal like any other unwritable output (exit 2).
+        // failed journal like any other unwritable output (exit 2). Chaos
+        // journal faults surface here too — a deterministic structured
+        // abort, never silent data loss.
         throw std::runtime_error(journal_error);
       }
       std::cout << (options.quiet ? report.summary() : report.verdict_table());
@@ -463,6 +553,17 @@ int main(int argc, char** argv) {
         }
         timing << "\n";
         std::cout << timing.str();
+        if (report.degraded) {
+          std::cout << "warning: campaign degraded to in-process execution "
+                       "(every worker exhausted its respawn budget)\n";
+        }
+      }
+      if (report.deadline_exceeded) {
+        // Structured abort: the partial report and journal were written
+        // above; the exit code tells the caller the deadline cut the run.
+        std::cerr << "campaign aborted: wall-clock deadline exceeded "
+                     "(--campaign-timeout)\n";
+        return 3;
       }
       return (report.any_violated() || report.error_seeds != 0) ? 1 : 0;
     }

@@ -1,14 +1,12 @@
 // esv-worker: out-of-process campaign shard executor, spawned by the
 // distributed campaign broker (esv-verify --campaign ... --workers=N).
 // Not meant to be run by hand; see docs/DISTRIBUTED.md.
-#include <csignal>
-
+//
+// SIGPIPE is ignored inside worker_main itself, so a broker that dies
+// mid-conversation always produces a structured worker exit — even for
+// embeddings of worker_main that skip this shim.
 #include "dist/worker.hpp"
 
 int main(int argc, char** argv) {
-  // The broker can vanish between poll() and any write; MSG_NOSIGNAL only
-  // protects send()-based paths, so ignore SIGPIPE process-wide and let
-  // every broken-pipe surface as a WireError instead of a silent kill.
-  std::signal(SIGPIPE, SIG_IGN);
   return esv::dist::worker_main(argc, argv);
 }
